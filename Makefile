@@ -1,0 +1,26 @@
+# Convenience targets for the Hermes reproduction.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -x -q --ignore=tests/runtime
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
+
+experiments:
+	python -m repro list-experiments
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	    benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

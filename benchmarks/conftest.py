@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs its experiment exactly once under pytest-benchmark's
+timer (``benchmark.pedantic(..., rounds=1)``) — the interesting output is
+the *result shape*, which each bench asserts, and the paper-style rendering,
+which is written to ``benchmarks/results/<name>.txt``.
+
+Scale note: devices are 8 workers (vs the paper's 32-core VMs) and
+durations are a few simulated seconds, keeping the full suite to minutes of
+wall clock while preserving every qualitative shape.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_output():
+    """Write a bench's paper-style rendering to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Bench: Appendix C — group scheduling and >64-worker devices."""
+
+from conftest import run_once
+
+from repro.experiments import appc
+
+
+def test_appc_locality_balance_tradeoff(benchmark, record_output):
+    def sweep():
+        return [appc.run_group_locality(size) for size in (1, 2, 4, 8)]
+
+    points = run_once(benchmark, sweep)
+
+    lines = ["group_size  n_groups  locality  balance  avg_ms"]
+    for p in points:
+        lines.append(f"{p.group_size:10d}  {p.n_groups:8d}  "
+                     f"{p.locality_score:8.2f}  {p.balance_score:7.3f}  "
+                     f"{p.avg_ms:7.2f}")
+    record_output("appc_group_tradeoff", "\n".join(lines))
+
+    # Group size 1 degenerates to reuseport-per-destination: perfect
+    # locality; group size n degenerates to standard Hermes: best balance.
+    localities = [p.locality_score for p in points]
+    balances = [p.balance_score for p in points]
+    assert localities == sorted(localities, reverse=True)
+    assert localities[0] == 1.0
+    assert balances[-1] == max(balances)
+    assert balances[-1] > 0.95
+
+
+def test_appc_wide_device_two_level_selection(benchmark, record_output):
+    result = run_once(benchmark, appc.run_wide_device, n_workers=128)
+
+    text = (f"{result.n_workers} workers -> {result.n_groups} groups "
+            f"(64-bit word per group)\n"
+            f"all groups dispatched: {result.all_groups_used}\n"
+            f"connection fairness (Jain): {result.conn_fairness:.3f}\n"
+            f"completed: {result.completed}  avg {result.avg_ms:.2f} ms")
+    record_output("appc_wide_device", text)
+
+    assert result.n_groups == 2
+    assert result.all_groups_used
+    assert result.completed > 1000
+    assert result.conn_fairness > 0.5

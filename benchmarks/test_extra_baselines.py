@@ -1,0 +1,87 @@
+"""Bench: every notification mode on one workload.
+
+Beyond Table 3's three modes, the repo implements every alternative the
+paper discusses: pre-4.5 epoll (thundering herd), the never-merged
+epoll-roundrobin, io_uring's FIFO wakeups (§8), and the §2.2 userspace
+dispatcher.  This bench lines them all up on identical traffic.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments.common import run_case_cell
+from repro.lb import NotificationMode
+
+ALL_MODES = (
+    NotificationMode.HERD,
+    NotificationMode.EXCLUSIVE,
+    NotificationMode.EXCLUSIVE_RR,
+    NotificationMode.IOURING_FIFO,
+    NotificationMode.REUSEPORT,
+    NotificationMode.USERSPACE_DISPATCHER,
+    NotificationMode.HERMES,
+)
+
+
+def test_all_modes_case3(benchmark, record_output):
+    def run_all():
+        return {mode.value: run_case_cell(
+            mode, "case3", "medium", n_workers=8, duration=3.0, seed=11)
+            for mode in ALL_MODES}
+
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    for mode, r in results.items():
+        rows.append([mode, f"{r.avg_ms:.3f}", f"{r.p99_ms:.3f}",
+                     f"{r.cpu_sd * 100:.2f}%",
+                     str(r.accepted_per_worker)])
+    record_output("extra_baselines_case3", render_table(
+        ["mode", "avg ms", "p99 ms", "cpu SD", "accepted/worker"], rows,
+        title="All seven notification modes, identical case3-medium "
+              "traffic"))
+
+    hermes = results["hermes"]
+    # Hermes is the best or near-best latency across every alternative.
+    best_avg = min(r.avg_ms for r in results.values())
+    assert hermes.avg_ms <= best_avg * 1.25
+    # Fixed-order wakeups concentrate regardless of direction.
+    for fixed in ("exclusive", "iouring_fifo"):
+        accepted = results[fixed].accepted_per_worker
+        assert max(accepted) > 2 * (sum(accepted) / len(accepted))
+    # epoll-rr balances accepts (its fairness fix did work).
+    rr = results["exclusive_rr"].accepted_per_worker
+    assert max(rr) < 1.5 * (sum(rr) / len(rr))
+    # The dispatcher balances too — at this (low-CPS) operating point it
+    # is not yet the bottleneck, matching §2.2's analysis.
+    dispatcher = results["userspace_dispatcher"].accepted_per_worker
+    assert dispatcher[0] == 0  # worker 0 never processes
+
+
+def test_dispatcher_bottleneck_at_high_cps(benchmark, record_output):
+    """At case1-heavy CPS the dedicated dispatcher melts (§2.2)."""
+    def run_pair():
+        return (run_case_cell(NotificationMode.USERSPACE_DISPATCHER,
+                              "case1", "heavy", n_workers=8, duration=2.0,
+                              seed=11, keep_server=True),
+                run_case_cell(NotificationMode.HERMES,
+                              "case1", "heavy", n_workers=8, duration=2.0,
+                              seed=11))
+
+    dispatcher_cell, hermes_cell = run_once(benchmark, run_pair)
+    server = dispatcher_cell.server
+    dispatcher_busy = server.workers[0].metrics.cpu.busy_time() / 2.0
+
+    text = (f"dispatcher-core utilization during traffic: "
+            f"{dispatcher_busy * 100:.0f}%\n"
+            f"dispatcher p99 {dispatcher_cell.p99_ms:.1f} ms vs "
+            f"hermes p99 {hermes_cell.p99_ms:.1f} ms\n"
+            f"dispatcher completed {dispatcher_cell.completed} vs "
+            f"hermes {hermes_cell.completed}")
+    record_output("dispatcher_bottleneck", text)
+
+    # The dispatcher core carries heavy critical-path load while Hermes
+    # pays ~nothing in-kernel, completes more work, and has a better tail.
+    assert dispatcher_busy > 0.35
+    assert hermes_cell.completed >= dispatcher_cell.completed
+    assert hermes_cell.p99_ms < dispatcher_cell.p99_ms

@@ -1,0 +1,30 @@
+"""Bench: Fig. 11 — delayed probes per day before/after the rollout."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_probes(benchmark, record_output):
+    result = run_once(benchmark, fig11.run_fig11)
+
+    lines = ["day  delayed_probes"]
+    for day, count in result.daily_delayed:
+        marker = "  <- rollout" if day == result.rollout_day else ""
+        lines.append(f"{day:3d}  {count}{marker}")
+    lines.append(f"reduction after rollout: {result.reduction * 100:.1f}% "
+                 f"(paper: 99.8% / 99%)")
+    lines.append(f"drain tail: {result.drain_tail_days:.1f} days "
+                 f"(paper Region1: 11 days)")
+    record_output("fig11_probes", "\n".join(lines))
+
+    before = [c for d, c in result.daily_delayed
+              if 2 <= d <= result.rollout_day]
+    after = [c for d, c in result.daily_delayed
+             if d > result.rollout_day + 2]
+    # Delayed probes were a steady daily occurrence before...
+    assert sum(before) / len(before) >= 3
+    # ...and collapse by >95% after the rollout (paper: 99%+).
+    assert result.reduction > 0.95
+    # Long-lived connections keep old devices draining for days.
+    assert result.drain_tail_days >= 1.0

@@ -1,0 +1,25 @@
+"""Bench: Fig. 12 — normalized unit cost before/after Hermes."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_unit_cost(benchmark, record_output):
+    result = run_once(benchmark, fig12.run_fig12)
+
+    lines = ["month  normalized_unit_cost"]
+    for month, cost in result.series:
+        lines.append(f"{month:5d}  {cost:.3f}")
+    lines.append(f"peak reduction: {result.peak_reduction * 100:.1f}% "
+                 f"(paper: 18.9%)")
+    record_output("fig12_unit_cost", "\n".join(lines))
+
+    costs = [c for _, c in result.series]
+    # Starts at 1.0 (normalized), declines monotonically through the
+    # rollout window, peak reduction close to the paper's 18.9%.
+    assert costs[0] == 1.0
+    rollout_window = costs[2:9]
+    assert all(b <= a + 1e-9 for a, b in zip(rollout_window,
+                                             rollout_window[1:]))
+    assert 0.15 < result.peak_reduction < 0.24

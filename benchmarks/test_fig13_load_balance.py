@@ -1,0 +1,26 @@
+"""Bench: Fig. 13 — SD of per-worker CPU and #connections, three modes."""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_load_balance(benchmark, record_output):
+    result = run_once(benchmark, fig13.run_fig13, n_workers=8,
+                      duration=8.0)
+
+    lines = ["mode        cpu_SD      conn_SD   (paper: 26%/2.7%/2.7% and "
+             "3200/50/20)"]
+    for mode in ("exclusive", "reuseport", "hermes"):
+        lines.append(f"{mode:10s}  {result.cpu_sd[mode] * 100:6.2f}%  "
+                     f"{result.conn_sd[mode]:9.2f}")
+    record_output("fig13_load_balance", "\n".join(lines))
+
+    # CPU: exclusive is an order of magnitude worse; Hermes at least
+    # matches reuseport.
+    assert result.cpu_sd["exclusive"] > 3 * result.cpu_sd["reuseport"]
+    assert result.cpu_sd["hermes"] <= result.cpu_sd["reuseport"] * 1.1
+    # Connections: exclusive worst; Hermes beats reuseport (it actively
+    # prefers low-connection workers).
+    assert result.conn_sd["exclusive"] > 3 * result.conn_sd["reuseport"]
+    assert result.conn_sd["hermes"] < result.conn_sd["reuseport"]

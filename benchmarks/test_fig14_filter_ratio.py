@@ -1,0 +1,35 @@
+"""Bench: Fig. 14 — coarse-filter pass ratio and scheduler frequency."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_filter_ratio_and_frequency(benchmark, record_output):
+    def run_both():
+        return (fig14.run_fig14(case="case2"),
+                fig14.run_fig14(case="case1"))
+
+    hetero_points, highcps_points = run_once(benchmark, run_both)
+
+    lines = ["-- case2 (heterogeneous): pass ratio vs load --"]
+    for p in hetero_points:
+        lines.append(f"load x{p.load_fraction:3.1f}: pass ratio "
+                     f"{p.pass_ratio * 100:5.1f}%  scheduler "
+                     f"{p.scheduler_calls_per_sec / 1e3:6.2f} k/s")
+    lines.append("-- case1 (high CPS): scheduler frequency vs load --")
+    for p in highcps_points:
+        lines.append(f"load x{p.load_fraction:3.1f}: pass ratio "
+                     f"{p.pass_ratio * 100:5.1f}%  scheduler "
+                     f"{p.scheduler_calls_per_sec / 1e3:6.2f} k/s")
+    record_output("fig14_filter_ratio", "\n".join(lines))
+
+    # Pass ratio falls as load rises (more workers busy).
+    hetero_first, hetero_last = hetero_points[0], hetero_points[-1]
+    assert hetero_last.pass_ratio < hetero_first.pass_ratio - 0.05
+    # Scheduler call frequency rises with load (shorter epoll_wait
+    # blocking), reaching tens of k/s — the paper reports 20k/s.
+    cps_first, cps_last = highcps_points[0], highcps_points[-1]
+    assert cps_last.scheduler_calls_per_sec > \
+        1.5 * cps_first.scheduler_calls_per_sec
+    assert max(p.scheduler_calls_per_sec for p in highcps_points) > 15e3

@@ -1,0 +1,30 @@
+"""Bench: Fig. 15 — the θ/Avg sweep."""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15_theta_sweep(benchmark, record_output):
+    points = run_once(benchmark, fig15.run_fig15)
+
+    lines = ["theta/avg   avg_ms    p99_ms   thr_rps  pass%"]
+    for p in points:
+        lines.append(f"{p.theta_ratio:8.2f}  {p.avg_ms:8.2f}  "
+                     f"{p.p99_ms:9.2f}  {p.throughput_rps:7.0f}  "
+                     f"{p.pass_ratio * 100:5.1f}")
+    best = fig15.best_theta(points)
+    lines.append(f"best theta/avg: {best} (paper: 0.5)")
+    record_output("fig15_theta_sweep", "\n".join(lines))
+
+    by_ratio = {p.theta_ratio: p for p in points}
+    # Monotone knob: more theta admits more workers.
+    ratios = sorted(by_ratio)
+    passes = [by_ratio[r].pass_ratio for r in ratios]
+    assert passes == sorted(passes)
+    # The U-shape: a moderate theta beats a huge one...
+    assert by_ratio[4.0].p99_ms > min(by_ratio[0.25].p99_ms,
+                                      by_ratio[0.5].p99_ms)
+    # ...and the optimum sits in the small-but-nonzero region around the
+    # paper's 0.5 (we accept the adjacent grid points).
+    assert best in (0.25, 0.5, 1.0)

@@ -1,0 +1,40 @@
+"""Bench: Fig. 3 — the lag effect of connection imbalance under surges."""
+
+from conftest import run_once
+
+from repro.analysis import render_series
+from repro.experiments import fig3
+from repro.lb import NotificationMode
+
+
+def test_fig3_lag_effect(benchmark, record_output):
+    def run_both():
+        return (fig3.run_fig3(NotificationMode.EXCLUSIVE),
+                fig3.run_fig3(NotificationMode.HERMES))
+
+    exclusive, hermes = run_once(benchmark, run_both)
+
+    text = "\n\n".join([
+        f"[exclusive] conns/worker at surge: {exclusive.conns_per_worker}\n"
+        f"normal P999 {exclusive.normal_p999_ms:.2f} ms -> "
+        f"surge P999 {exclusive.surge_p999_ms:.2f} ms",
+        f"[hermes]    conns/worker at surge: {hermes.conns_per_worker}\n"
+        f"normal P999 {hermes.normal_p999_ms:.2f} ms -> "
+        f"surge P999 {hermes.surge_p999_ms:.2f} ms",
+        render_series("traffic rate (exclusive)",
+                      exclusive.traffic_series, "t", "req/s"),
+        render_series("#connections (exclusive)",
+                      exclusive.conn_series, "t", "conns"),
+    ])
+    record_output("fig3_lag_effect", text)
+
+    # Exclusive concentrated the long-lived connections.
+    assert max(exclusive.conns_per_worker) > \
+        0.8 * sum(exclusive.conns_per_worker)
+    # Normal latency regime is sub-ms; the surge amplifies the exclusive
+    # tail far more than the Hermes tail.
+    assert exclusive.normal_p999_ms < 1.0
+    assert exclusive.surge_p999_ms > 30.0
+    assert exclusive.surge_p999_ms > 3 * hermes.surge_p999_ms
+    # The conn time series actually shows the established population.
+    assert max(c for _, c in exclusive.conn_series) > 300

@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 — CDF of #events per epoll_wait() across four workers."""
+
+from conftest import run_once
+
+from repro.analysis import render_series
+from repro.experiments import fig45
+
+
+def test_fig4_events_per_wait(benchmark, record_output):
+    result = run_once(benchmark, fig45.run_fig45, n_workers=4,
+                      duration=8.0)
+
+    sections = [f"mean events/wait per worker: "
+                f"{ {k: round(v, 3) for k, v in result.mean_events.items()} }"]
+    for worker_id, cdf in result.events_per_wait.items():
+        sections.append(render_series(
+            f"worker {worker_id} #events CDF", cdf, "events", "P"))
+    record_output("fig4_epoll_events", "\n\n".join(sections))
+
+    means = sorted(result.mean_events.values())
+    # Exclusive's concentration: the busiest worker harvests measurably
+    # more events per wait than the idlest.
+    assert means[-1] > 1.15 * means[0]
+    # CDFs are well-formed.
+    for cdf in result.events_per_wait.values():
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0

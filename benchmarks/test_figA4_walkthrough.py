@@ -1,0 +1,39 @@
+"""Bench: Figs. A3/A4 — the deterministic walkthrough example."""
+
+from conftest import run_once
+
+from repro.experiments import figa4
+from repro.lb import NotificationMode
+
+
+def test_figa4_walkthrough(benchmark, record_output):
+    def run_all():
+        return {mode.value: figa4.run_figa4(mode)
+                for mode in (NotificationMode.EXCLUSIVE,
+                             NotificationMode.REUSEPORT,
+                             NotificationMode.HERMES)}
+
+    results = run_once(benchmark, run_all)
+
+    lines = []
+    for mode, r in results.items():
+        latencies = {k: round(v, 2) for k, v in sorted(r.latency_t.items())}
+        lines.append(f"{mode:10s} workers={r.workers_used} "
+                     f"max_share={r.max_share:.2f} "
+                     f"makespan={r.makespan_t:.1f}t latencies={latencies}")
+    record_output("figA4_walkthrough", "\n".join(lines))
+
+    # Every request completes under every mode.
+    for r in results.values():
+        assert all(v > 0 for v in r.latency_t.values())
+        # Request 'a' takes its 4t of processing in every mode.
+        assert r.latency_t["a"] >= 4.0 - 0.1
+    # Reuseport's pathology: some b gets hashed behind 'a' and waits ~5t.
+    reuseport = results["reuseport"]
+    b_latencies = [v for k, v in reuseport.latency_t.items() if k != "a"]
+    assert max(b_latencies) >= 4.5
+    # Hermes avoids the worker chewing on 'a': every b bounded by ~3t.
+    hermes = results["hermes"]
+    b_latencies = [v for k, v in hermes.latency_t.items() if k != "a"]
+    assert max(b_latencies) <= 3.3
+    assert hermes.workers_used == 3

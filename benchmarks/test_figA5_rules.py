@@ -1,0 +1,24 @@
+"""Bench: Fig. A5 — CDF of forwarding rules per port."""
+
+from conftest import run_once
+
+from repro.analysis import render_series
+from repro.experiments import figa5
+
+
+def test_figa5_rules_cdf(benchmark, record_output):
+    result = run_once(benchmark, figa5.run_figa5, n_tenants=2000)
+
+    text = (f"{result.n_ports} ports — rules per port: "
+            f"P50 {result.p50:.0f}  P90 {result.p90:.0f}  "
+            f"P99 {result.p99:.0f}  CoV {result.cov:.2f}\n\n"
+            + render_series("rules-per-port CDF", result.cdf, "rules", "P"))
+    record_output("figA5_rules", text)
+
+    # The appendix's point: rule counts vary widely port to port, so
+    # there is no code locality worth scheduling for.
+    assert result.p99 > 3 * result.p50
+    assert result.cov > 0.6
+    fractions = [f for _, f in result.cdf]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0

@@ -1,0 +1,40 @@
+"""Bench: tenant performance isolation under skewed co-location (§1, §7)."""
+
+from conftest import run_once
+
+from repro.experiments.isolation import run_isolation
+from repro.lb import NotificationMode
+
+
+def test_tenant_isolation(benchmark, record_output):
+    def run_all():
+        return {mode.value: run_isolation(mode)
+                for mode in (NotificationMode.EXCLUSIVE,
+                             NotificationMode.REUSEPORT,
+                             NotificationMode.HERMES)}
+
+    results = run_once(benchmark, run_all)
+
+    lines = ["mode        small avg   small p99   499s  (whale completed)"]
+    for mode, r in results.items():
+        lines.append(f"{mode:10s} {r.small_avg_ms:8.2f} ms "
+                     f"{r.small_p99_ms:9.2f} ms {r.small_timeouts_499:5d}"
+                     f"  ({r.whale_completed})")
+    record_output("tenant_isolation", "\n".join(lines))
+
+    hermes = results["hermes"]
+    exclusive = results["exclusive"]
+    reuseport = results["reuseport"]
+    # Hermes gives the small tenant the best deadline-miss rate and tail,
+    # and stateless hashing is markedly the worst.
+    assert hermes.small_timeouts_499 <= exclusive.small_timeouts_499
+    assert hermes.small_timeouts_499 < reuseport.small_timeouts_499 / 2
+    assert hermes.small_p99_ms < reuseport.small_p99_ms / 2
+    assert hermes.small_p99_ms <= exclusive.small_p99_ms * 1.1
+    # Nobody starves the whale.
+    for r in results.values():
+        assert r.whale_completed > 500
+    # All modes completed the same small-tenant request count
+    # (identical traffic).
+    counts = {r.small_completed for r in results.values()}
+    assert max(counts) - min(counts) <= max(counts) * 0.05

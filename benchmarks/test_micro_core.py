@@ -1,0 +1,136 @@
+"""Micro-benchmarks of the Hermes core primitives.
+
+These are classic multi-round pytest-benchmark measurements (unlike the
+experiment benches, which run once).  They quantify the cost of each
+operation on the scheduling hot path — the quantities Table 5's cost
+model parameterizes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BpfArrayMap,
+    CascadingScheduler,
+    HermesConfig,
+    HermesDispatchProgram,
+    ReuseportSockArray,
+    WorkerStatusTable,
+    bitmap_from_ids,
+    find_nth_set_bit,
+    popcount64,
+)
+from repro.kernel import FourTuple, jhash_4tuple, reciprocal_scale
+from repro.kernel.reuseport import ReuseportContext
+
+_rng = random.Random(1)
+_WORDS = [_rng.getrandbits(64) for _ in range(256)]
+_TUPLES = [FourTuple(_rng.getrandbits(32), _rng.getrandbits(16),
+                     0xC0A80001, 443) for _ in range(256)]
+
+
+def test_popcount64(benchmark):
+    def run():
+        total = 0
+        for word in _WORDS:
+            total += popcount64(word)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_find_nth_set_bit(benchmark):
+    words = [w | 1 for w in _WORDS]  # ensure at least one bit
+
+    def run():
+        total = 0
+        for word in words:
+            total += find_nth_set_bit(word, popcount64(word) // 2)
+        return total
+
+    benchmark(run)
+
+
+def test_jhash_4tuple(benchmark):
+    def run():
+        total = 0
+        for ft in _TUPLES:
+            total += jhash_4tuple(ft)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_reciprocal_scale(benchmark):
+    values = [_rng.getrandbits(32) for _ in range(1024)]
+
+    def run():
+        return sum(reciprocal_scale(v, 32) for v in values)
+
+    benchmark(run)
+
+
+def test_schedule_and_sync_32_workers(benchmark):
+    """One full Algorithm-1 run over a 32-worker WST."""
+    clock_value = [0.0]
+    wst = WorkerStatusTable(32, lambda: clock_value[0])
+    for w in range(32):
+        wst.add_events(w, _rng.randrange(0, 5))
+        wst.add_conns(w, _rng.randrange(0, 100))
+    scheduler = CascadingScheduler(wst, BpfArrayMap(1),
+                                   config=HermesConfig(),
+                                   clock=lambda: clock_value[0])
+
+    def run():
+        clock_value[0] += 0.001
+        return scheduler.schedule_and_sync().bitmap
+
+    benchmark(run)
+
+
+def test_dispatch_program_run(benchmark):
+    """One Algorithm-2 invocation (the per-SYN kernel path)."""
+    sel_map = BpfArrayMap(1)
+    sock_map = ReuseportSockArray(32)
+    for w in range(32):
+        sock_map.install(w, w)
+    sel_map.update_from_user(0, bitmap_from_ids(range(0, 32, 2)))
+    program = HermesDispatchProgram(sel_map, sock_map)
+    contexts = [ReuseportContext(jhash_4tuple(ft), ft, 32)
+                for ft in _TUPLES]
+
+    def run():
+        total = 0
+        for ctx in contexts:
+            total += program.run(ctx)
+        return total
+
+    benchmark(run)
+
+
+def test_wst_update(benchmark):
+    """One shared-memory counter update (the Fig. 9 instrumentation)."""
+    wst = WorkerStatusTable(32, lambda: 0.0)
+
+    def run():
+        for _ in range(100):
+            wst.add_events(7, 1)
+            wst.add_events(7, -1)
+
+    benchmark(run)
+
+
+def test_simulation_throughput(benchmark):
+    """End-to-end simulated-connection throughput of the whole stack
+    (events simulated per wall-second drives every experiment's cost)."""
+    from repro.experiments.common import run_case_cell
+    from repro.lb import NotificationMode
+
+    def run():
+        result = run_case_cell(NotificationMode.HERMES, "case1", "light",
+                               n_workers=4, duration=0.5, seed=3)
+        return result.completed
+
+    completed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completed > 0

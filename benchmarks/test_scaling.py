@@ -1,0 +1,36 @@
+"""Bench: worker-count scaling — the gaps grow toward the paper's size."""
+
+from conftest import run_once
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling_to_paper_vm_size(benchmark, record_output):
+    points = run_once(benchmark, run_scaling)
+
+    lines = ["workers  mode        avg_ms    p99_ms   cpu_SD  imbalance"]
+    for p in points:
+        lines.append(f"{p.n_workers:7d}  {p.mode:10s} {p.avg_ms:7.3f}  "
+                     f"{p.p99_ms:8.3f}  {p.cpu_sd * 100:5.2f}%  "
+                     f"{p.accept_imbalance:.2f}x")
+    record_output("scaling", "\n".join(lines))
+
+    by_key = {(p.n_workers, p.mode): p for p in points}
+    # Hermes wins at every scale, and its latency is scale-flat.
+    for n in (4, 8, 16, 32):
+        assert by_key[(n, "hermes")].avg_ms < \
+            by_key[(n, "exclusive")].avg_ms
+        assert by_key[(n, "hermes")].cpu_sd < \
+            by_key[(n, "exclusive")].cpu_sd
+    hermes_avgs = [by_key[(n, "hermes")].avg_ms for n in (4, 8, 16, 32)]
+    assert max(hermes_avgs) < 2 * min(hermes_avgs)
+    # Exclusive's concentration pathology *worsens* with core count —
+    # more workers means more of the device the LIFO favourite starves.
+    assert by_key[(32, "exclusive")].avg_ms > \
+        3 * by_key[(4, "exclusive")].avg_ms
+    assert by_key[(32, "exclusive")].accept_imbalance > \
+        by_key[(4, "exclusive")].accept_imbalance
+    # At the paper's 32-core VM size the Hermes gap is an order of
+    # magnitude.
+    assert by_key[(32, "exclusive")].avg_ms > \
+        5 * by_key[(32, "hermes")].avg_ms

@@ -1,0 +1,40 @@
+"""Bench: §7 — synchronized round-robin restarts + upstream reuse."""
+
+from conftest import run_once
+
+from repro.experiments import sec7
+
+
+def test_sec7_backend_round_robin(benchmark, record_output):
+    result = run_once(benchmark, sec7.run_backend_rr)
+
+    text = (f"{result.n_workers} workers x {result.requests_per_worker} "
+            f"requests over {result.n_servers} backends after a list "
+            f"update:\n"
+            f"synchronized restarts: {result.imbalance_synchronized:.2f}x "
+            f"max/mean (paper incident: head servers get 2-3x)\n"
+            f"randomized offsets:    {result.imbalance_randomized:.2f}x")
+    record_output("sec7_backend_rr", text)
+
+    # The incident: head servers get 2-3x the mean.
+    assert result.imbalance_synchronized > 2.0
+    # The fix brings it close to even.
+    assert result.imbalance_randomized < 2.0
+    assert result.imbalance_randomized < result.imbalance_synchronized / 1.5
+
+
+def test_sec7_connection_reuse(benchmark, record_output):
+    result = run_once(benchmark, sec7.run_connection_reuse)
+
+    text = (f"per-worker pools: {result.handshakes_per_worker_pools} "
+            f"upstream handshakes "
+            f"(+{result.added_latency_per_worker * 1e3:.3f} ms/req avg)\n"
+            f"shared pool:      {result.handshakes_shared_pool} handshakes "
+            f"(+{result.added_latency_shared * 1e3:.3f} ms/req avg)")
+    record_output("sec7_connection_reuse", text)
+
+    # Spreading over all workers fragments per-worker pools; the shared
+    # pool restores reuse (one handshake per backend).
+    assert result.handshakes_per_worker_pools >= \
+        8 * result.handshakes_shared_pool
+    assert result.added_latency_shared < result.added_latency_per_worker

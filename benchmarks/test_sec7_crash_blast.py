@@ -1,0 +1,28 @@
+"""Bench: §7 — worker-crash blast radius, exclusive vs Hermes."""
+
+from conftest import run_once
+
+from repro.experiments import sec7
+from repro.lb import NotificationMode
+
+
+def test_sec7_crash_blast_radius(benchmark, record_output):
+    def run_both():
+        return (sec7.run_crash_blast(NotificationMode.EXCLUSIVE),
+                sec7.run_crash_blast(NotificationMode.HERMES))
+
+    exclusive, hermes = run_once(benchmark, run_both)
+
+    text = (f"exclusive: {exclusive.connections_killed}/"
+            f"{exclusive.total_connections} connections killed "
+            f"({exclusive.blast_fraction * 100:.1f}%) — paper incident: "
+            f">70% of connections re-established\n"
+            f"hermes:    {hermes.connections_killed}/"
+            f"{hermes.total_connections} "
+            f"({hermes.blast_fraction * 100:.1f}%) — ~1/n expected")
+    record_output("sec7_crash_blast", text)
+
+    # Exclusive concentrates: one crash takes out most connections.
+    assert exclusive.blast_fraction > 0.70
+    # Hermes bounds the blast radius near 1/n_workers (n=8 → 12.5%).
+    assert hermes.blast_fraction < 0.25

@@ -1,0 +1,18 @@
+"""Bench: Table 1 — region request size / processing-time quantiles."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_regions(benchmark, record_output):
+    rows = run_once(benchmark, table1.run_table1, n_samples=40000)
+    record_output("table1_regions", table1.render_table1(rows))
+
+    assert len(rows) == 4
+    # Fitted samplers reproduce every published quantile within 15%.
+    for row in rows:
+        assert row.max_relative_error() < 0.15, row.region
+    # Region3's WebSocket tail: P99 processing time ~4 orders above P50.
+    region3 = next(r for r in rows if r.region == "Region3")
+    assert region3.time_measured[2] > 1000 * region3.time_measured[0]

@@ -1,0 +1,20 @@
+"""Bench: Table 2 — CPU imbalance within devices / across a mini-region."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_imbalance(benchmark, record_output):
+    devices = run_once(benchmark, table2.run_table2,
+                       n_devices=6, n_workers=8, duration=3.0)
+    record_output("table2_imbalance", table2.render_table2(devices))
+
+    summary = table2.region_summary(devices)
+    worst = max(devices, key=lambda d: d.max_minus_min)
+    # The paper's shape: the worst device shows a large max-min core
+    # spread, and even the regional average spread is substantial
+    # relative to the average utilization.
+    assert worst.max_minus_min > 0.25
+    assert summary.max_minus_min > 0.10
+    assert summary.max_util > summary.avg_util > summary.min_util

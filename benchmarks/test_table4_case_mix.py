@@ -1,0 +1,26 @@
+"""Bench: Table 4 — case mix across regions + per-mode impacted traffic."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_case_mix(benchmark, record_output):
+    analysis = run_once(benchmark, table4.run_table4)
+    record_output("table4_case_mix", table4.render_table4(analysis))
+
+    # The mix is the paper's measured data: rows sum to 100%.
+    for region, mix in analysis.mix.items():
+        assert abs(sum(mix.values()) - 100.0) < 0.1, region
+    # Case 3 dominates on average; case 4 second (the paper's point that
+    # exclusive and reuseport fail precisely in the common cases).
+    avg = analysis.average_mix
+    assert avg["case3"] > avg["case4"] > avg["case1"]
+    # Hermes has no ineffective case anywhere; the others are exposed to
+    # large traffic shares in at least one region.
+    for region in analysis.impacted_share:
+        assert analysis.impacted_share[region]["hermes"] == 0.0
+    assert max(analysis.impacted_share[r]["exclusive"]
+               for r in analysis.impacted_share) > 80.0
+    assert max(analysis.impacted_share[r]["reuseport"]
+               for r in analysis.impacted_share) > 80.0

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517/660 builds fail on ``bdist_wheel``.  Keeping a classic setup.py
+(and no ``[build-system]`` table in pyproject.toml) lets ``pip install -e .``
+fall back to the legacy develop-mode install, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

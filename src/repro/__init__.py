@@ -1,0 +1,38 @@
+"""repro — a reproduction of Hermes (SIGCOMM 2025).
+
+Userspace-directed I/O event notification for Layer-7 cloud load balancers,
+rebuilt on a discrete-event simulation of the Linux kernel substrate it
+extends (epoll, wait queues, SO_REUSEPORT, eBPF socket selection).
+
+Quickstart::
+
+    from repro import Environment, LBServer, NotificationMode
+    from repro.workloads import build_case_workload, TrafficGenerator
+    from repro.sim import RngRegistry
+
+    env = Environment()
+    lb = LBServer(env, n_workers=8, ports=[443],
+                  mode=NotificationMode.HERMES)
+    lb.start()
+    spec = build_case_workload("case1", "light", n_workers=8, duration=2.0)
+    gen = TrafficGenerator(env, lb, RngRegistry(7).stream("traffic"), spec)
+    gen.start()
+    env.run(until=3.0)
+    print(lb.metrics.summary())
+"""
+
+from .core import HermesConfig
+from .lb import LBServer, NotificationMode, ServiceProfile
+from .sim import Environment, RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "HermesConfig",
+    "LBServer",
+    "NotificationMode",
+    "RngRegistry",
+    "ServiceProfile",
+    "__version__",
+]

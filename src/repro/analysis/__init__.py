@@ -1,0 +1,29 @@
+"""Analysis helpers: statistics and paper-style reporting."""
+
+from .export import series_to_csv, table_to_csv, write_csv
+from .reporting import mark_effectiveness, render_series, render_table
+from .stats import (
+    cdf_points,
+    coefficient_of_variation,
+    jains_fairness,
+    mean,
+    normalize,
+    percentile,
+    population_sd,
+)
+
+__all__ = [
+    "cdf_points",
+    "coefficient_of_variation",
+    "jains_fairness",
+    "mark_effectiveness",
+    "mean",
+    "normalize",
+    "percentile",
+    "population_sd",
+    "render_series",
+    "render_table",
+    "series_to_csv",
+    "table_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,60 @@
+"""Plot-ready data export.
+
+The benchmark harnesses print paper-style text; these helpers additionally
+persist figure series and table grids as CSV so downstream users can plot
+them with any tool (the repo itself stays matplotlib-free).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["series_to_csv", "table_to_csv", "write_csv"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def series_to_csv(series: Dict[str, Sequence[Tuple[float, float]]],
+                  x_label: str = "x") -> str:
+    """Multiple named (x, y) series → one CSV with aligned x column.
+
+    Series may have different x grids; rows are the sorted union of all
+    x values, with empty cells where a series has no point.
+    """
+    if not series:
+        return ""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    by_name = {name: dict(points) for name, points in series.items()}
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    names = list(series)
+    writer.writerow([x_label] + names)
+    for x in xs:
+        row: List[object] = [x]
+        for name in names:
+            value = by_name[name].get(x, "")
+            row.append(value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """A headers+rows grid → CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: PathLike, content: str) -> pathlib.Path:
+    """Write CSV text to ``path`` (creating parent directories)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path

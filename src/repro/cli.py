@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --mode hermes --case case2 --load medium
+    python -m repro compare --case case3 --load heavy
+    python -m repro experiment table3
+    python -m repro list-experiments
+
+``run`` drives one device in one mode; ``compare`` A/Bs all Table-3 modes
+on identical traffic; ``experiment`` executes a named paper experiment's
+standalone harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import runpy
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.reporting import render_table
+from .lb.server import NotificationMode
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment modules exposed through ``experiment <name>``.
+EXPERIMENTS = [
+    "table1", "table2", "table3", "table4", "table5",
+    "fig3", "fig45", "fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "figa4", "figa5", "sec7", "appc", "ablations", "pool_capacity",
+    "isolation", "scaling",
+]
+
+_CASES = ("case1", "case2", "case3", "case4")
+_LOADS = ("light", "medium", "heavy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hermes (SIGCOMM 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one device under one workload")
+    run.add_argument("--mode", default="hermes",
+                     choices=[m.value for m in NotificationMode])
+    run.add_argument("--case", default="case1", choices=_CASES)
+    run.add_argument("--load", default="light", choices=_LOADS)
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--duration", type=float, default=2.0)
+    run.add_argument("--ports", type=int, default=1,
+                     help="number of tenant ports")
+    run.add_argument("--seed", type=int, default=7)
+
+    compare = sub.add_parser(
+        "compare", help="A/B all Table-3 modes on identical traffic")
+    compare.add_argument("--case", default="case3", choices=_CASES)
+    compare.add_argument("--load", default="medium", choices=_LOADS)
+    compare.add_argument("--workers", type=int, default=8)
+    compare.add_argument("--duration", type=float, default=3.0)
+    compare.add_argument("--seed", type=int, default=11)
+    compare.add_argument("--all-modes", action="store_true",
+                         help="include herd/rr/io_uring/dispatcher too")
+
+    experiment = sub.add_parser(
+        "experiment", help="run a paper experiment's standalone harness")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+
+    sub.add_parser("list-experiments", help="list experiment names")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .experiments.common import run_case_cell
+
+    mode = NotificationMode(args.mode)
+    ports = tuple(20001 + i for i in range(args.ports))
+    result = run_case_cell(mode, args.case, args.load,
+                           n_workers=args.workers,
+                           duration=args.duration, ports=ports,
+                           seed=args.seed)
+    print(render_table(
+        ["metric", "value"],
+        [["mode", result.mode],
+         ["workload", result.workload],
+         ["requests completed", result.completed],
+         ["failed", result.failed],
+         ["refused", result.refused],
+         ["avg latency (ms)", f"{result.avg_ms:.3f}"],
+         ["p99 latency (ms)", f"{result.p99_ms:.3f}"],
+         ["throughput (kRPS)", f"{result.throughput_rps / 1e3:.2f}"],
+         ["cpu SD", f"{result.cpu_sd * 100:.2f}%"],
+         ["accepted/worker", str(result.accepted_per_worker)]],
+        title=f"{result.mode} on {result.workload}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .experiments.common import MODES_UNDER_TEST, run_case_cell
+
+    modes: Sequence[NotificationMode] = MODES_UNDER_TEST
+    if args.all_modes:
+        modes = tuple(NotificationMode)
+    rows = []
+    for mode in modes:
+        result = run_case_cell(mode, args.case, args.load,
+                               n_workers=args.workers,
+                               duration=args.duration, seed=args.seed)
+        rows.append([mode.value, f"{result.avg_ms:.3f}",
+                     f"{result.p99_ms:.3f}",
+                     f"{result.throughput_rps / 1e3:.2f}",
+                     f"{result.cpu_sd * 100:.2f}%"])
+    print(render_table(
+        ["mode", "avg ms", "p99 ms", "thr kRPS", "cpu SD"], rows,
+        title=f"{args.case} {args.load}: identical traffic, "
+              f"{args.workers} workers"))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    # argparse validated the name against EXPERIMENTS already.
+    runpy.run_module(f"repro.experiments.{args.name}", run_name="__main__")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        doc = (module.__doc__ or "").strip().splitlines()
+        print(f"{name:14s} {doc[0] if doc else ''}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "list-experiments": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

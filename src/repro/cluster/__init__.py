@@ -1,0 +1,17 @@
+"""Cluster layer: multi-device LB clusters, canary releases, autoscaling."""
+
+from .autoscale import AutoscaleModel, UnitCostPoint, unit_cost_series
+from .canary import CanaryRelease
+from .cluster import LBCluster
+from .sharding import ShuffleShardedFleet, TenantPlacement, VMGroup
+
+__all__ = [
+    "AutoscaleModel",
+    "CanaryRelease",
+    "LBCluster",
+    "ShuffleShardedFleet",
+    "TenantPlacement",
+    "UnitCostPoint",
+    "VMGroup",
+    "unit_cost_series",
+]

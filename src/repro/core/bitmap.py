@@ -1,0 +1,137 @@
+"""Loop-free 64-bit bitmap operations (§5.4 of the paper).
+
+Hermes encodes the coarse-filtered worker set as a 64-bit bitmap so one
+atomic word carries the whole scheduling decision.  The kernel-side program
+then needs exactly two primitives, both implementable without loops (an eBPF
+verifier requirement the paper calls out):
+
+- ``popcount64`` — *CountNonZeroBits* in Algorithm 2: how many workers
+  passed the coarse filter.  Implemented as the classic SWAR Hamming-weight
+  reduction [14].
+- ``find_nth_set_bit`` — *FindNthNonZeroBit*: the bit index of the Nth set
+  bit (0-based rank).  Implemented with the branchless
+  select-position-from-MSB-rank technique from Bit Twiddling Hacks [5],
+  adapted to LSB-first rank to match the worker-ID ordering.
+
+Python ints are arbitrary precision, so 64-bit masking is applied at each
+step to keep the arithmetic faithful to the eBPF register model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "WORD_BITS",
+    "popcount64",
+    "find_nth_set_bit",
+    "bitmap_from_ids",
+    "ids_from_bitmap",
+    "bit_set",
+    "bit_clear",
+    "bit_test",
+]
+
+WORD_BITS = 64
+_M64 = (1 << 64) - 1
+
+_M1 = 0x5555555555555555  # 01 pairs
+_M2 = 0x3333333333333333  # 0011 nibble halves
+_M4 = 0x0F0F0F0F0F0F0F0F  # 00001111 bytes
+_H01 = 0x0101010101010101  # byte sum multiplier
+
+
+def popcount64(value: int) -> int:
+    """Number of set bits in a 64-bit word — SWAR Hamming weight.
+
+    Deliberately implemented without loops/``bin().count`` to mirror the
+    constant-instruction-count eBPF version.
+    """
+    v = value & _M64
+    v = v - ((v >> 1) & _M1)
+    v = (v & _M2) + ((v >> 2) & _M2)
+    v = (v + (v >> 4)) & _M4
+    return ((v * _H01) & _M64) >> 56
+
+
+def find_nth_set_bit(value: int, rank: int) -> int:
+    """Bit index (LSB = 0) of the set bit with 0-based ``rank``.
+
+    Branch-minimal binary search over precomputed SWAR partial sums — the
+    select-position technique of [5].  Raises ``ValueError`` when ``value``
+    has fewer than ``rank + 1`` set bits, which the kernel dispatch program
+    guards against by checking ``popcount64`` first.
+    """
+    v = value & _M64
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    total = popcount64(v)
+    if rank >= total:
+        raise ValueError(
+            f"bitmap {value:#x} has {total} set bits; no bit of rank {rank}")
+
+    # Partial popcounts: pairs, nibbles, bytes, shorts, ints (SWAR tree).
+    a = v - ((v >> 1) & _M1)                       # 2-bit sums
+    b = (a & _M2) + ((a >> 2) & _M2)               # 4-bit sums
+    c = (b + (b >> 4)) & _M4                       # 8-bit sums
+    d = (c + (c >> 8)) & 0x00FF00FF00FF00FF        # 16-bit sums
+    e = (d + (d >> 16)) & 0x0000FFFF0000FFFF      # 32-bit sums
+
+    remaining = rank + 1  # 1-based count of the bit we want
+    position = 0
+
+    count = e & 0xFFFFFFFF                 # set bits in the low 32
+    if remaining > count:
+        remaining -= count
+        position += 32
+    count = (d >> position) & 0xFFFF       # set bits in the low 16 of window
+    if remaining > count:
+        remaining -= count
+        position += 16
+    count = (c >> position) & 0xFF
+    if remaining > count:
+        remaining -= count
+        position += 8
+    count = (b >> position) & 0xF
+    if remaining > count:
+        remaining -= count
+        position += 4
+    count = (a >> position) & 0x3
+    if remaining > count:
+        remaining -= count
+        position += 2
+    count = (v >> position) & 0x1
+    if remaining > count:
+        remaining -= count
+        position += 1
+    return position
+
+
+def bitmap_from_ids(ids: Iterable[int], width: int = WORD_BITS) -> int:
+    """Encode worker IDs as a bitmap; IDs must fit in ``width`` bits."""
+    bitmap = 0
+    for worker_id in ids:
+        if not 0 <= worker_id < width:
+            raise ValueError(
+                f"worker id {worker_id} out of bitmap range [0, {width})")
+        bitmap |= 1 << worker_id
+    return bitmap
+
+
+def ids_from_bitmap(bitmap: int, width: int = WORD_BITS) -> List[int]:
+    """Decode a bitmap into a sorted list of worker IDs."""
+    if bitmap < 0:
+        raise ValueError("bitmap must be non-negative")
+    return [i for i in range(width) if bitmap & (1 << i)]
+
+
+def bit_set(bitmap: int, index: int) -> int:
+    return (bitmap | (1 << index)) & _M64
+
+
+def bit_clear(bitmap: int, index: int) -> int:
+    return (bitmap & ~(1 << index)) & _M64
+
+
+def bit_test(bitmap: int, index: int) -> bool:
+    return bool(bitmap & (1 << index))

@@ -1,0 +1,134 @@
+"""Runtime control plane for a Hermes deployment.
+
+Appendix C: "our scheduler exposes an HTTP interface that allows dynamic
+policy updates, supports fallbacks to reuseport, and facilitates rapid
+iteration of future scheduling algorithms."  The transport here is a local
+API object rather than HTTP (no network in this environment); the
+*operations* are the same: live retuning of θ, the hang threshold, and the
+filter cascade, plus a global kill switch back to plain reuseport hashing.
+
+All updates are applied atomically per group (one config swap) and logged
+to an audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from .config import HermesConfig
+
+__all__ = ["SchedulerControl", "ControlError"]
+
+
+class ControlError(Exception):
+    """Raised for invalid control-plane operations."""
+
+
+@dataclass(frozen=True)
+class _AuditEntry:
+    time: float
+    operation: str
+    arguments: Dict[str, Any]
+
+
+class SchedulerControl:
+    """Live policy control over one Hermes-mode LB server."""
+
+    def __init__(self, server):
+        from ..lb.server import NotificationMode
+
+        if server.mode is not NotificationMode.HERMES:
+            raise ControlError(
+                f"control plane requires a Hermes-mode server, got "
+                f"{server.mode.value}")
+        self.server = server
+        self.audit_log: List[_AuditEntry] = []
+        self._fallback_forced = False
+
+    # -- internals -----------------------------------------------------------
+    def _log(self, operation: str, **arguments) -> None:
+        self.audit_log.append(_AuditEntry(
+            time=self.server.env.now, operation=operation,
+            arguments=arguments))
+
+    def _update_schedulers(self, **overrides) -> None:
+        for group in self.server.groups:
+            group.scheduler.config = \
+                group.scheduler.config.with_overrides(**overrides)
+
+    # -- policy updates ------------------------------------------------------
+    def set_theta_ratio(self, ratio: float) -> None:
+        """Retune the coarse-filter offset θ/Avg at runtime (Fig. 15)."""
+        if ratio < 0:
+            raise ControlError(f"theta ratio must be >= 0, got {ratio}")
+        self._update_schedulers(theta_ratio=ratio)
+        self._log("set_theta_ratio", ratio=ratio)
+
+    def set_hang_threshold(self, seconds: float) -> None:
+        """Retune the FilterTime hang threshold."""
+        if seconds <= 0:
+            raise ControlError("hang threshold must be positive")
+        self._update_schedulers(hang_threshold=seconds)
+        self._log("set_hang_threshold", seconds=seconds)
+
+    def set_filter_order(self, order: Tuple[str, ...]) -> None:
+        """Swap the cascade (rapid iteration of scheduling algorithms)."""
+        # Validation happens inside HermesConfig.__post_init__.
+        try:
+            self._update_schedulers(filter_order=tuple(order))
+        except ValueError as exc:
+            raise ControlError(str(exc)) from exc
+        self._log("set_filter_order", order=tuple(order))
+
+    def set_min_workers(self, n: int) -> None:
+        """Adjust the kernel fallback threshold."""
+        if n < 1:
+            raise ControlError("min_workers must be >= 1")
+        for group in self.server.groups:
+            group.program.min_workers = n
+        self._log("set_min_workers", n=n)
+
+    # -- the reuseport kill switch -------------------------------------------
+    def force_reuseport_fallback(self, enabled: bool) -> None:
+        """Detach (or re-attach) the dispatch program on every port.
+
+        With the program detached the kernel uses plain reuseport hashing —
+        the operational escape hatch when a scheduling rollout misbehaves.
+        """
+        program = None if enabled else self.server.dispatch_program
+        for port in self.server.ports:
+            self.server.stack.group_for(port).attach_program(program)
+        self._fallback_forced = enabled
+        self._log("force_reuseport_fallback", enabled=enabled)
+
+    @property
+    def fallback_forced(self) -> bool:
+        return self._fallback_forced
+
+    # -- observability ---------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """A health/config snapshot (what the HTTP GET would return)."""
+        groups = []
+        for group in self.server.groups:
+            scheduler = group.scheduler
+            groups.append({
+                "group_id": group.group_id,
+                "workers": len(group.worker_ids),
+                "theta_ratio": scheduler.config.theta_ratio,
+                "hang_threshold": scheduler.config.hang_threshold,
+                "filter_order": scheduler.config.filter_order,
+                "min_workers": group.program.min_workers,
+                "scheduler_calls": scheduler.calls,
+                "current_bitmap": scheduler.last_bitmap,
+                "empty_results": scheduler.empty_results,
+                "kernel_dispatches": group.program.dispatched,
+                "kernel_fallbacks": group.program.fallbacks,
+            })
+        return {
+            "mode": self.server.mode.value,
+            "fallback_forced": self._fallback_forced,
+            "n_workers": self.server.n_workers,
+            "alive_workers": len(self.server.alive_workers),
+            "groups": groups,
+        }

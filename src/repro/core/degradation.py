@@ -1,0 +1,95 @@
+"""Proactive service degradation (Appendix C, exception case 1).
+
+Established connections cannot migrate between workers (core affinity), so
+when one worker hangs on a long-running task its existing connections stall
+— the paper saw request delays surge from 30 ms to 440 s.  Hermes's
+mitigation: when a core stays saturated, send TCP RSTs to a subset of its
+connections; the clients reconnect and the closed loop reschedules them to
+healthy workers.  "L7 users prioritize the eventual success of their
+requests ... even at the expense of L4 connection stability."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..sim.engine import Environment, Interrupt
+
+__all__ = ["ServiceDegrader"]
+
+
+class ServiceDegrader:
+    """Watches per-worker CPU and resets connections on sustained overload."""
+
+    def __init__(self, env: Environment, server,
+                 check_interval: float = 0.100,
+                 cpu_threshold: float = 0.95,
+                 sustain_checks: int = 3,
+                 rst_fraction: float = 0.5,
+                 cooldown: float = 1.0):
+        if not 0 < rst_fraction <= 1:
+            raise ValueError("rst_fraction must be in (0, 1]")
+        if sustain_checks < 1:
+            raise ValueError("sustain_checks must be >= 1")
+        self.env = env
+        self.server = server
+        self.check_interval = check_interval
+        self.cpu_threshold = cpu_threshold
+        self.sustain_checks = sustain_checks
+        self.rst_fraction = rst_fraction
+        self.cooldown = cooldown
+        # -- state ------------------------------------------------------------
+        self._last_busy: List[float] = [0.0] * server.n_workers
+        self._hot_streak: List[int] = [0] * server.n_workers
+        self._cooldown_until: List[float] = [0.0] * server.n_workers
+        # -- statistics ---------------------------------------------------------
+        self.degradations = 0
+        self.connections_reset = 0
+        self._proc = None
+
+    def start(self) -> None:
+        self._proc = self.env.process(self._run(), name="degrader")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("degrader stopped")
+
+    def _run(self):
+        try:
+            while True:
+                yield self.env.timeout(self.check_interval)
+                self._check_all()
+        except Interrupt:
+            return
+
+    def _check_all(self) -> None:
+        for worker in self.server.workers:
+            wid = worker.worker_id
+            busy = worker.metrics.cpu.busy_time()
+            window_util = (busy - self._last_busy[wid]) / self.check_interval
+            self._last_busy[wid] = busy
+            if not worker.is_alive:
+                continue
+            if window_util >= self.cpu_threshold:
+                self._hot_streak[wid] += 1
+            else:
+                self._hot_streak[wid] = 0
+            if (self._hot_streak[wid] >= self.sustain_checks
+                    and self.env.now >= self._cooldown_until[wid]):
+                self._degrade(worker)
+                self._hot_streak[wid] = 0
+                self._cooldown_until[wid] = self.env.now + self.cooldown
+
+    def _degrade(self, worker) -> None:
+        """RST a fraction of the worker's connections so their clients
+        reconnect and land on healthy workers."""
+        victims = [conn for conn in worker.conns.values()
+                   if conn.tenant_id >= 0]  # never reset probe connections
+        if not victims:
+            return
+        n = max(1, math.ceil(len(victims) * self.rst_fraction))
+        self.degradations += 1
+        for conn in victims[:n]:
+            conn.reset("service degradation")
+            self.connections_reset += 1

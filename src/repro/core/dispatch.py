@@ -1,0 +1,76 @@
+"""The kernel-side eBPF dispatch program — Algorithm 2 (§5.4).
+
+Attached to a reuseport group via ``SO_ATTACH_REUSEPORT_EBPF`` (our
+:meth:`repro.kernel.reuseport.ReuseportGroup.attach_program`).  For each new
+connection it:
+
+1. loads the userspace-selected worker bitmap from the eBPF array map;
+2. popcounts it — if fewer than ``min_workers`` candidates passed the
+   coarse filter, declines, so the kernel falls back to plain reuseport
+   hashing (the two-stage overload-prevention mechanism of §5.3.2);
+3. scales the precomputed 4-tuple hash into ``[0, n)`` with
+   ``reciprocal_scale`` (the fine-grained filter spreading load across the
+   candidates);
+4. locates the Nth set bit — the selected worker's local rank — and
+5. resolves the worker's member-socket index through the reuseport
+   sockarray map (``bpf_sk_select_reuseport``).
+
+Everything is loop-free, mirroring the verifier constraint; the instruction
+estimate feeds the Table 5 "Dispatcher" overhead row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.hash import reciprocal_scale
+from ..kernel.reuseport import ReuseportContext
+from .bitmap import find_nth_set_bit, popcount64
+from .ebpf import BpfArrayMap, ReuseportSockArray
+
+__all__ = ["HermesDispatchProgram"]
+
+
+class HermesDispatchProgram:
+    """``conn_dispatch_socket_select`` from Algorithm 2."""
+
+    #: Rough instruction count of one program run (bitwise ops + two map
+    #: helpers), used for overhead accounting.
+    INSTRUCTION_ESTIMATE = 40
+
+    def __init__(self, sel_map: BpfArrayMap, sock_map: ReuseportSockArray,
+                 min_workers: int = 2, sel_key: int = 0):
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        self.sel_map = sel_map
+        self.sock_map = sock_map
+        self.min_workers = min_workers
+        self.sel_key = sel_key
+        # -- statistics -----------------------------------------------------
+        self.invocations = 0
+        self.dispatched = 0
+        #: Declines due to too few coarse-filtered workers.
+        self.fallbacks_too_few = 0
+        #: Declines due to a missing sockarray slot (dead worker).
+        self.fallbacks_no_socket = 0
+
+    def run(self, ctx: ReuseportContext) -> Optional[int]:
+        """Select a member-socket index for one SYN, or None to fall back."""
+        self.invocations += 1
+        bitmap = self.sel_map.lookup(self.sel_key)
+        n = popcount64(bitmap)
+        if n < self.min_workers:
+            self.fallbacks_too_few += 1
+            return None
+        nth = reciprocal_scale(ctx.hash, n)
+        worker_rank = find_nth_set_bit(bitmap, nth)
+        socket_index = self.sock_map.select(worker_rank)
+        if socket_index is None:
+            self.fallbacks_no_socket += 1
+            return None
+        self.dispatched += 1
+        return socket_index
+
+    @property
+    def fallbacks(self) -> int:
+        return self.fallbacks_too_few + self.fallbacks_no_socket

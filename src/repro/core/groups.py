@@ -1,0 +1,121 @@
+"""Two-level worker-group scheduling (§7 and Appendix C).
+
+One 64-bit atomic word covers at most 64 workers.  For wider machines —
+and for workloads that want cache locality — Hermes groups workers into
+sets of ≤64.  Each group owns an independent WST, selection map, sockarray
+map, scheduler, and dispatch program.  A level-1 hash picks the group; the
+group's Algorithm-2 logic picks the worker.
+
+Two level-1 keying modes:
+
+- ``"four_tuple"`` — plain flow hash: uniform spreading, used purely to
+  scale past 64 workers (§7).
+- ``"dip_dport"`` — hash of destination IP and port only (Fig. A6): all
+  connections to one backend/service land in the same group (code/data
+  locality) while load still balances across the group's workers.
+
+Degenerate configurations reproduce the paper's observation that grouping
+generalizes existing mechanisms: a single group is standard Hermes; one
+worker per group is plain reuseport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..kernel.hash import jhash_words, reciprocal_scale
+from ..kernel.reuseport import ReuseportContext
+from .config import HermesConfig
+from .dispatch import HermesDispatchProgram
+from .ebpf import BpfArrayMap, ReuseportSockArray
+from .scheduler import CascadingScheduler
+from .wst import WorkerStatusTable
+
+__all__ = ["HermesGroup", "GroupedDispatchProgram", "build_groups"]
+
+
+@dataclass
+class HermesGroup:
+    """All per-group state: status table, maps, scheduler, program."""
+
+    group_id: int
+    #: Global worker ids covered by this group, in local-rank order.
+    worker_ids: Tuple[int, ...]
+    wst: WorkerStatusTable
+    sel_map: BpfArrayMap
+    sock_map: ReuseportSockArray
+    scheduler: CascadingScheduler
+    program: HermesDispatchProgram
+
+    def local_rank(self, worker_id: int) -> int:
+        """This worker's column index inside the group."""
+        return self.worker_ids.index(worker_id)
+
+
+def build_groups(n_workers: int, config: Optional[HermesConfig] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 capacity_limits: Optional[Sequence[Optional[int]]] = None,
+                 ) -> List[HermesGroup]:
+    """Partition ``n_workers`` into groups of ``config.group_size``.
+
+    Workers are assigned contiguously: group 0 gets ids 0..size-1, etc.
+    Each group's WST indexes workers by local rank.  ``capacity_limits``
+    (global worker order) enables the "capacity" filter stage per group.
+    """
+    config = config or HermesConfig()
+    clock = clock or (lambda: 0.0)
+    groups: List[HermesGroup] = []
+    size = config.group_size
+    for group_id, start in enumerate(range(0, n_workers, size)):
+        ids = tuple(range(start, min(start + size, n_workers)))
+        wst = WorkerStatusTable(len(ids), clock)
+        sel_map = BpfArrayMap(1, name=f"sel_group{group_id}")
+        sock_map = ReuseportSockArray(len(ids), name=f"sock_group{group_id}")
+        group_limits = (None if capacity_limits is None
+                        else [capacity_limits[w] for w in ids])
+        scheduler = CascadingScheduler(
+            wst, sel_map, config=config, clock=clock,
+            capacity_limits=group_limits)
+        program = HermesDispatchProgram(
+            sel_map, sock_map, min_workers=config.min_workers)
+        groups.append(HermesGroup(
+            group_id=group_id, worker_ids=ids, wst=wst, sel_map=sel_map,
+            sock_map=sock_map, scheduler=scheduler, program=program))
+    return groups
+
+
+class GroupedDispatchProgram:
+    """Level-1 group selection + level-2 Hermes dispatch.
+
+    Implements the reuseport SocketSelector protocol, so it attaches to a
+    reuseport group exactly like the single-group program.
+    """
+
+    def __init__(self, groups: Sequence[HermesGroup],
+                 key_mode: str = "four_tuple", hash_seed: int = 0):
+        if not groups:
+            raise ValueError("need at least one group")
+        if key_mode not in ("four_tuple", "dip_dport"):
+            raise ValueError(f"unknown key_mode {key_mode!r}")
+        self.groups = list(groups)
+        self.key_mode = key_mode
+        self.hash_seed = hash_seed
+        #: Dispatches routed per group (locality diagnostics).
+        self.group_hits = [0] * len(self.groups)
+
+    def _level1_hash(self, ctx: ReuseportContext) -> int:
+        if self.key_mode == "four_tuple":
+            return ctx.hash
+        ft = ctx.four_tuple
+        return jhash_words([ft.dst_ip & 0xFFFFFFFF,
+                            ft.dst_port & 0xFFFF], self.hash_seed)
+
+    def group_for(self, ctx: ReuseportContext) -> HermesGroup:
+        index = reciprocal_scale(self._level1_hash(ctx), len(self.groups))
+        return self.groups[index]
+
+    def run(self, ctx: ReuseportContext) -> Optional[int]:
+        group = self.group_for(ctx)
+        self.group_hits[group.group_id] += 1
+        return group.program.run(ctx)

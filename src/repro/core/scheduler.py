@@ -1,0 +1,177 @@
+"""The userspace cascading scheduler — Algorithm 1 (§5.2.2).
+
+Every worker embeds one of these and calls :meth:`schedule_and_sync` at the
+*end* of each epoll event-loop iteration (§5.3.2 explains why the end: the
+status published there reflects the just-finished batch, not a stale
+pre-``epoll_wait`` idle snapshot).
+
+The cascade:
+
+1. *FilterTime* — drop workers whose loop-entry timestamp is older than the
+   hang threshold (abnormal/hung workers, highest priority).
+2. *FilterCount over conns* — drop workers whose accumulated connection
+   count is above ``avg + θ`` (guards against synchronized surges on
+   long-lived connections).
+3. *FilterCount over events* — drop workers with above-baseline pending
+   events (slow responders).
+
+The surviving set is encoded as a 64-bit bitmap and pushed to the kernel's
+selection map with one ``bpf()`` syscall.  Complexity is O(n) in the number
+of workers; the cost model reflects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sim.monitor import Samples
+from .bitmap import bitmap_from_ids
+from .config import HermesConfig
+from .ebpf import BpfArrayMap
+from .wst import WorkerStatusTable, WstSnapshot
+
+__all__ = ["CascadingScheduler", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one scheduler run."""
+
+    bitmap: int
+    n_selected: int
+    n_workers: int
+    #: CPU seconds the run cost (WST scan + filtering + map syscall).
+    cpu_cost: float
+
+    @property
+    def pass_ratio(self) -> float:
+        return self.n_selected / self.n_workers if self.n_workers else 0.0
+
+
+class CascadingScheduler:
+    """Algorithm 1: cascading worker filtering + kernel sync."""
+
+    def __init__(self, wst: WorkerStatusTable, sel_map: BpfArrayMap,
+                 config: Optional[HermesConfig] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 worker_ids: Optional[Sequence[int]] = None,
+                 sel_key: int = 0,
+                 capacity_limits: Optional[Sequence[Optional[int]]] = None):
+        self.wst = wst
+        self.sel_map = sel_map
+        self.config = config or HermesConfig()
+        self._clock = clock or (lambda: 0.0)
+        #: The candidate universe (defaults to every WST column).
+        self.worker_ids: Tuple[int, ...] = tuple(
+            worker_ids if worker_ids is not None else range(wst.n_workers))
+        self.sel_key = sel_key
+        #: Optional per-worker connection-pool limits, indexed like the
+        #: WST.  Enables the "capacity" filter stage (§5.1.1: never
+        #: select a worker whose preallocated pool is full).
+        self.capacity_limits: Optional[Tuple[Optional[int], ...]] = (
+            tuple(capacity_limits) if capacity_limits is not None else None)
+        # -- statistics (Fig. 14) -------------------------------------------
+        self.calls = 0
+        self.pass_ratios = Samples("coarse_pass_ratio")
+        self.last_bitmap = 0
+        #: Runs where every candidate was filtered out (kernel will fall
+        #: back to plain reuseport).
+        self.empty_results = 0
+
+    # -- the three filters ---------------------------------------------------
+    def filter_time(self, snapshot: WstSnapshot,
+                    candidates: List[int], now: float) -> List[int]:
+        """Keep workers whose event loop re-entered recently (FilterTime)."""
+        threshold = self.config.hang_threshold
+        return [w for w in candidates
+                if now - snapshot.times[w] < threshold]
+
+    @staticmethod
+    def _filter_count(values: Sequence[float], candidates: List[int],
+                      theta_ratio: float) -> List[int]:
+        """FilterCount: keep workers with ``value <= avg + θ``.
+
+        θ = ``theta_ratio * avg``.  The paper states a strict ``<``; we use
+        ``<=`` so a perfectly uniform load (all values equal, e.g. all
+        zero at cold start) keeps every worker instead of none — the strict
+        form would force a reuseport fallback exactly when all workers are
+        equally suitable.
+        """
+        if not candidates:
+            return candidates
+        avg = sum(values[w] for w in candidates) / len(candidates)
+        baseline = avg + theta_ratio * avg
+        return [w for w in candidates if values[w] <= baseline]
+
+    def filter_conn(self, snapshot: WstSnapshot,
+                    candidates: List[int]) -> List[int]:
+        return self._filter_count(snapshot.conns, candidates,
+                                  self.config.theta_ratio)
+
+    def filter_event(self, snapshot: WstSnapshot,
+                     candidates: List[int]) -> List[int]:
+        return self._filter_count(snapshot.events, candidates,
+                                  self.config.theta_ratio)
+
+    def filter_capacity(self, snapshot: WstSnapshot,
+                        candidates: List[int]) -> List[int]:
+        """Drop workers whose connection pool is full (absolute filter,
+        unlike the relative FilterCount stages)."""
+        limits = self.capacity_limits
+        if limits is None:
+            return candidates
+        return [w for w in candidates
+                if limits[w] is None or snapshot.conns[w] < limits[w]]
+
+    # -- the full cascade ------------------------------------------------
+    def select_workers(self, snapshot: WstSnapshot,
+                       now: float) -> List[int]:
+        """Run the cascade over a snapshot; returns surviving worker ids."""
+        candidates = list(self.worker_ids)
+        for stage in self.config.filter_order:
+            if stage == "time":
+                candidates = self.filter_time(snapshot, candidates, now)
+            elif stage == "conn":
+                candidates = self.filter_conn(snapshot, candidates)
+            elif stage == "event":
+                candidates = self.filter_event(snapshot, candidates)
+            elif stage == "capacity":
+                candidates = self.filter_capacity(snapshot, candidates)
+            else:  # pragma: no cover - config validates
+                raise ValueError(f"unknown filter stage {stage!r}")
+        return candidates
+
+    def schedule_and_sync(self) -> ScheduleResult:
+        """One full run: read WST, cascade, sync bitmap to the kernel."""
+        self.calls += 1
+        now = self._clock()
+        snapshot = self.wst.read_all()
+        selected = self.select_workers(snapshot, now)
+        # Bitmap bit positions are *local* ranks within this scheduler's
+        # worker set, so one 64-bit word covers any 64-worker group even if
+        # global worker ids exceed 63.
+        rank = {w: i for i, w in enumerate(self.worker_ids)}
+        bitmap = bitmap_from_ids([rank[w] for w in selected])
+        self.sel_map.update_from_user(self.sel_key, bitmap)
+        self.last_bitmap = bitmap
+        n = len(selected)
+        if n == 0:
+            self.empty_results += 1
+        self.pass_ratios.add(n / len(self.worker_ids))
+        costs = self.config.costs
+        cpu_cost = (
+            len(self.worker_ids)
+            * (costs.wst_read_per_worker + costs.scheduler_per_worker)
+            + costs.map_update_syscall
+        )
+        return ScheduleResult(bitmap=bitmap, n_selected=n,
+                              n_workers=len(self.worker_ids),
+                              cpu_cost=cpu_cost)
+
+    @property
+    def scheduler_cost_per_call(self) -> float:
+        """Pure compute cost (no syscall) of one run — Table 5 split."""
+        costs = self.config.costs
+        return len(self.worker_ids) * (
+            costs.wst_read_per_worker + costs.scheduler_per_worker)

@@ -1,0 +1,124 @@
+"""Shared harness for every experiment.
+
+Guarantees the A/B discipline Table 3 needs: for one (case, load) cell, all
+three notification modes see byte-identical traffic (same arrival times,
+same 4-tuples, same request shapes) because the traffic RNG stream is
+derived from the cell, not the mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import HermesConfig
+from ..lb.server import LBServer, NotificationMode
+from ..lb.worker import ServiceProfile
+from ..sim.engine import Environment
+from ..sim.rng import RngRegistry
+from ..workloads.cases import build_case_workload
+from ..workloads.generator import TrafficGenerator, WorkloadSpec
+
+__all__ = ["CellResult", "run_spec", "run_case_cell", "MODES_UNDER_TEST"]
+
+#: The three modes Table 3 compares.
+MODES_UNDER_TEST = (
+    NotificationMode.EXCLUSIVE,
+    NotificationMode.REUSEPORT,
+    NotificationMode.HERMES,
+)
+
+
+@dataclass
+class CellResult:
+    """Everything one experiment cell reports."""
+
+    mode: str
+    workload: str
+    avg_ms: float
+    p99_ms: float
+    throughput_rps: float
+    completed: int
+    failed: int
+    refused: int
+    cpu_sd: float
+    conn_sd: float
+    cpu_utils: List[float] = field(default_factory=list)
+    accepted_per_worker: List[int] = field(default_factory=list)
+    #: Kept alive for experiments that probe deeper (overhead, scheduler
+    #: stats); None when the caller asked for a detached summary.
+    server: Optional[LBServer] = None
+
+    def row(self) -> tuple:
+        """(avg_ms, p99_ms, throughput) — the Table 3 cell format."""
+        return (self.avg_ms, self.p99_ms, self.throughput_rps / 1e3)
+
+
+def run_spec(mode: NotificationMode, spec: WorkloadSpec,
+             n_workers: int, seed: int = 7,
+             ports: Optional[Sequence[int]] = None,
+             config: Optional[HermesConfig] = None,
+             profile: Optional[ServiceProfile] = None,
+             settle: float = 0.5,
+             keep_server: bool = False,
+             env_hook=None) -> CellResult:
+    """Run one workload spec against a fresh device in the given mode.
+
+    ``settle`` extends the simulation beyond the generation window so
+    in-flight requests can finish.  ``env_hook(env, server, gen)`` runs
+    before the simulation starts (failure injection, probers, samplers).
+    """
+    env = Environment()
+    registry = RngRegistry(seed)
+    server = LBServer(
+        env, n_workers=n_workers,
+        ports=list(ports) if ports is not None else list(spec.ports),
+        mode=mode, config=config, profile=profile,
+        hash_seed=registry.stream("hash-seed").randrange(2 ** 32))
+    server.start()
+    # The traffic stream is mode-independent: every mode replays the same
+    # connections and requests.
+    traffic_rng = registry.stream(f"traffic:{spec.name}")
+    gen = TrafficGenerator(env, server, traffic_rng, spec)
+    if env_hook is not None:
+        env_hook(env, server, gen)
+    gen.start()
+    env.run(until=spec.duration + settle)
+    summary = server.metrics.summary()
+    return CellResult(
+        mode=mode.value,
+        workload=spec.name,
+        avg_ms=summary["avg_ms"],
+        p99_ms=summary["p99_ms"],
+        throughput_rps=summary["throughput_rps"],
+        completed=summary["completed"],
+        failed=summary["failed"],
+        refused=server.metrics.connections_refused,
+        cpu_sd=summary["cpu_sd"],
+        conn_sd=summary["conn_sd"],
+        cpu_utils=server.metrics.cpu_utilizations(),
+        accepted_per_worker=[w.accepted
+                             for w in server.metrics.workers.values()],
+        server=server if keep_server else None,
+    )
+
+
+def run_case_cell(mode: NotificationMode, case: str, load: str,
+                  n_workers: int = 16, duration: float = 4.0,
+                  ports: Sequence[int] = (443,),
+                  seed: int = 7, **kwargs) -> CellResult:
+    """Run one (mode, case, load) cell of Table 3."""
+    spec = build_case_workload(case, load, n_workers=n_workers,
+                               duration=duration, ports=ports)
+    return run_spec(mode, spec, n_workers=n_workers, seed=seed, **kwargs)
+
+
+def compare_modes(case: str, load: str, n_workers: int = 16,
+                  duration: float = 4.0, ports: Sequence[int] = (443,),
+                  seed: int = 7,
+                  modes: Sequence[NotificationMode] = MODES_UNDER_TEST,
+                  **kwargs) -> Dict[str, CellResult]:
+    """All modes on identical traffic for one (case, load) cell."""
+    return {mode.value: run_case_cell(
+        mode, case, load, n_workers=n_workers, duration=duration,
+        ports=ports, seed=seed, **kwargs) for mode in modes}

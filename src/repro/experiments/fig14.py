@@ -1,0 +1,70 @@
+"""Fig. 14 — coarse-filter pass ratio and scheduler call frequency vs load.
+
+As workload rises, more workers are busy, so fewer pass the coarse filter;
+meanwhile ``epoll_wait`` returns faster, so every worker's loop — and its
+embedded scheduler — runs more often.  The paper measures the pass ratio
+falling and the scheduling frequency rising to ~20k/s under heavy load, a
+self-stabilizing property (more load ⇒ fresher scheduling decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..lb.server import NotificationMode
+from ..workloads.cases import build_case_workload
+from .common import run_spec
+
+__all__ = ["FilterFrequencyPoint", "run_fig14"]
+
+
+@dataclass(frozen=True)
+class FilterFrequencyPoint:
+    load_fraction: float
+    #: Mean ratio of workers passing the coarse filter.
+    pass_ratio: float
+    #: Scheduler invocations per second (device-wide).
+    scheduler_calls_per_sec: float
+    #: Fraction of runs whose bitmap fell below min_workers (fallbacks).
+    empty_ratio: float
+
+
+def run_fig14(n_workers: int = 8, duration: float = 3.0, seed: int = 59,
+              load_fractions: List[float] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
+              case: str = "case2") -> List[FilterFrequencyPoint]:
+    """Sweep load multipliers (1.0 == the case's light operating point)."""
+    points: List[FilterFrequencyPoint] = []
+    for multiplier in load_fractions:
+        spec = build_case_workload(case, "light", n_workers=n_workers,
+                                   duration=duration)
+        spec.conn_rate *= multiplier
+        spec.name = f"fig14-x{multiplier}"
+        result = run_spec(NotificationMode.HERMES, spec,
+                          n_workers=n_workers, seed=seed, settle=0.3,
+                          keep_server=True)
+        server = result.server
+        elapsed = server.metrics.elapsed
+        total_calls = sum(g.scheduler.calls for g in server.groups)
+        ratios = [r for g in server.groups
+                  for r in g.scheduler.pass_ratios.values]
+        empties = sum(g.scheduler.empty_results for g in server.groups)
+        points.append(FilterFrequencyPoint(
+            load_fraction=multiplier,
+            pass_ratio=sum(ratios) / len(ratios) if ratios else 0.0,
+            scheduler_calls_per_sec=total_calls / elapsed,
+            empty_ratio=empties / total_calls if total_calls else 0.0,
+        ))
+    return points
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    # Pass-ratio decline shows best on the heterogeneous case2 workload;
+    # the frequency rise shows best on the high-CPS case1 workload.
+    for case in ("case2", "case1"):
+        print(f"-- {case} --")
+        for p in run_fig14(case=case):
+            print(f"load x{p.load_fraction:3.1f}: pass ratio "
+                  f"{p.pass_ratio * 100:5.1f}%  scheduler "
+                  f"{p.scheduler_calls_per_sec / 1e3:6.2f} k/s  "
+                  f"empty {p.empty_ratio * 100:4.1f}%")

@@ -1,0 +1,76 @@
+"""Fig. 15 — selecting the coarse-filter offset θ.
+
+θ/Avg too small ⇒ few workers pass the coarse filter ⇒ new connections
+concentrate (and the kernel falls back to hashing more often); too large
+⇒ busy workers get selected and delay new connections.  The paper finds
+θ/Avg = 0.5 the sweet spot for both average P99 latency and throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.config import HermesConfig
+from ..lb.server import NotificationMode
+from ..workloads.cases import build_case_workload
+from .common import run_spec
+
+__all__ = ["ThetaPoint", "run_fig15", "best_theta"]
+
+
+@dataclass(frozen=True)
+class ThetaPoint:
+    theta_ratio: float
+    avg_ms: float
+    p99_ms: float
+    throughput_rps: float
+    pass_ratio: float
+
+
+def run_fig15(theta_ratios: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0),
+              n_workers: int = 8, duration: float = 4.0,
+              seeds: Sequence[int] = (61, 62, 63),
+              case: str = "case4", load: str = "medium") -> List[ThetaPoint]:
+    points: List[ThetaPoint] = []
+    for ratio in theta_ratios:
+        config = HermesConfig(theta_ratio=ratio)
+        avgs, p99s, thrs, passes = [], [], [], []
+        for seed in seeds:
+            spec = build_case_workload(case, load, n_workers=n_workers,
+                                       duration=duration)
+            spec.name = f"fig15-theta{ratio}"
+            result = run_spec(NotificationMode.HERMES, spec,
+                              n_workers=n_workers, seed=seed, config=config,
+                              settle=1.0, keep_server=True)
+            server = result.server
+            ratios = [r for g in server.groups
+                      for r in g.scheduler.pass_ratios.values]
+            avgs.append(result.avg_ms)
+            p99s.append(result.p99_ms)
+            thrs.append(result.throughput_rps)
+            passes.append(sum(ratios) / len(ratios) if ratios else 0.0)
+        n = len(seeds)
+        points.append(ThetaPoint(
+            theta_ratio=ratio,
+            avg_ms=sum(avgs) / n,
+            p99_ms=sum(p99s) / n,
+            throughput_rps=sum(thrs) / n,
+            pass_ratio=sum(passes) / n,
+        ))
+    return points
+
+
+def best_theta(points: List[ThetaPoint]) -> float:
+    """The ratio minimizing P99 (ties broken by throughput)."""
+    return min(points, key=lambda p: (p.p99_ms, -p.throughput_rps)
+               ).theta_ratio
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    points = run_fig15()
+    for p in points:
+        print(f"theta/avg {p.theta_ratio:4.2f}: avg {p.avg_ms:8.2f} ms  "
+              f"p99 {p.p99_ms:9.2f} ms  thr {p.throughput_rps:8.0f}  "
+              f"pass {p.pass_ratio * 100:5.1f}%")
+    print("best theta/avg:", best_theta(points))

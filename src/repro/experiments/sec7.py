@@ -1,0 +1,170 @@
+"""§7 Experiences — the two deployment incidents and the crash blast radius.
+
+1. **Backend round-robin restarts** (``run_backend_rr``): after a server-
+   list update, every worker restarts round-robin at index 0; with Hermes
+   spreading requests thinly across all workers, the head servers get 2-3×
+   traffic.  Randomized per-worker offsets fix it.
+
+2. **Upstream connection reuse** (``run_connection_reuse``): spreading
+   traffic over all workers fragments per-worker connection pools; a shared
+   pool restores reuse.
+
+3. **Worker crash blast radius** (``run_crash_blast``): under exclusive,
+   connections concentrate, so one crash can take out most of the device's
+   connections (the paper's HTTP/2-upgrade incident killed >70%); under
+   Hermes the blast radius is ~1/n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from ..lb.backend import BackendPool
+from ..lb.server import LBServer, NotificationMode
+from ..sim.engine import Environment
+from ..sim.rng import RngRegistry
+from ..workloads.generator import TrafficGenerator
+
+__all__ = ["BackendRrResult", "run_backend_rr",
+           "ReuseResult", "run_connection_reuse",
+           "CrashBlastResult", "run_crash_blast"]
+
+
+# ---------------------------------------------------------------------------
+# Experience 1: synchronized round-robin restarts.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackendRrResult:
+    #: max/mean requests per backend right after a list update.
+    imbalance_synchronized: float
+    imbalance_randomized: float
+    n_workers: int
+    n_servers: int
+    requests_per_worker: int
+
+
+def run_backend_rr(n_workers: int = 32, n_servers: int = 20,
+                   requests_per_worker: int = 6,
+                   seed: int = 71) -> BackendRrResult:
+    """Few requests per worker after an update ⇒ head servers overloaded.
+
+    ``requests_per_worker`` is deliberately small (Hermes spreads load, so
+    each worker sees only a few requests between updates — the regime that
+    triggered the incident).
+    """
+    rng = RngRegistry(seed).stream("offsets")
+
+    def imbalance(randomize: bool) -> float:
+        pool = BackendPool(n_servers, n_workers)
+        pool.update_server_list(n_servers, rng=rng,
+                                randomize_offsets=randomize)
+        for worker_id in range(n_workers):
+            for _ in range(requests_per_worker):
+                pool.next_server(worker_id)
+        return pool.imbalance_ratio()
+
+    return BackendRrResult(
+        imbalance_synchronized=imbalance(False),
+        imbalance_randomized=imbalance(True),
+        n_workers=n_workers, n_servers=n_servers,
+        requests_per_worker=requests_per_worker)
+
+
+# ---------------------------------------------------------------------------
+# Experience 2: upstream connection reuse.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReuseResult:
+    handshakes_per_worker_pools: int
+    handshakes_shared_pool: int
+    #: Mean added upstream latency per request for each pooling policy.
+    added_latency_per_worker: float
+    added_latency_shared: float
+
+
+def run_connection_reuse(n_workers: int = 32, n_servers: int = 8,
+                         n_requests: int = 2000,
+                         handshake_cost: float = 0.002,
+                         seed: int = 73) -> ReuseResult:
+    rng = RngRegistry(seed).stream("spread")
+
+    def run(shared: bool):
+        pool = BackendPool(n_servers, n_workers, shared_pool=shared,
+                           handshake_cost=handshake_cost)
+        total_latency = 0.0
+        for _ in range(n_requests):
+            # Hermes-style spreading: requests land on random workers.
+            worker_id = rng.randrange(n_workers)
+            total_latency += pool.forward(worker_id)
+        return pool.total_handshakes(), total_latency / n_requests
+
+    rng_state = rng.getstate()
+    per_worker_handshakes, per_worker_latency = run(False)
+    rng.setstate(rng_state)  # identical request→worker sequence
+    shared_handshakes, shared_latency = run(True)
+    return ReuseResult(
+        handshakes_per_worker_pools=per_worker_handshakes,
+        handshakes_shared_pool=shared_handshakes,
+        added_latency_per_worker=per_worker_latency,
+        added_latency_shared=shared_latency)
+
+
+# ---------------------------------------------------------------------------
+# Experience 3: crash blast radius.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrashBlastResult:
+    mode: str
+    total_connections: int
+    connections_killed: int
+    blast_fraction: float
+
+
+def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
+                    n_connections: int = 400, seed: int = 79,
+                    ) -> CrashBlastResult:
+    """Establish long-lived connections, crash the busiest worker, count
+    how many connections die with it."""
+    env = Environment()
+    registry = RngRegistry(seed)
+    server = LBServer(env, n_workers=n_workers, ports=[443], mode=mode,
+                      hash_seed=registry.stream("hash").randrange(2 ** 32))
+    server.start()
+    from ..workloads.distributions import FixedFactory
+    from ..workloads.generator import WorkloadSpec
+
+    spec = WorkloadSpec(name="blast", conn_rate=n_connections / 2.0,
+                        duration=2.0, factory=FixedFactory((200e-6,)),
+                        ports=(443,), requests_per_conn=50,
+                        request_gap_mean=0.5)
+    gen = TrafficGenerator(env, server, registry.stream("traffic"), spec)
+    gen.start()
+    env.run(until=3.0)
+
+    counts = server.connection_counts()
+    victim = counts.index(max(counts))
+    total = sum(counts)
+    server.crash_worker(victim)
+    killed = server.detect_and_clean_worker(victim)
+    return CrashBlastResult(
+        mode=mode.value,
+        total_connections=total,
+        connections_killed=killed,
+        blast_fraction=killed / total if total else 0.0)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    rr = run_backend_rr()
+    print(f"backend rr imbalance: synchronized {rr.imbalance_synchronized:.2f}x "
+          f"randomized {rr.imbalance_randomized:.2f}x")
+    reuse = run_connection_reuse()
+    print(f"handshakes: per-worker pools {reuse.handshakes_per_worker_pools} "
+          f"shared pool {reuse.handshakes_shared_pool}")
+    for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES):
+        blast = run_crash_blast(mode)
+        print(f"crash blast {blast.mode}: {blast.connections_killed}/"
+              f"{blast.total_connections} = {blast.blast_fraction * 100:.1f}%")

@@ -1,0 +1,113 @@
+"""Table 3 — the headline: 4 cases × 3 modes × 3 loads.
+
+For every (case, load) cell, the three notification modes replay identical
+traffic on a fresh device; we report average latency, P99 latency, and
+throughput, and apply the paper's ✓/✗ effectiveness marking (✗ when
+processing time exceeds the best by >50% or throughput trails by >20%,
+in multiple cells).
+
+Expected shape (paper):
+- Case 1: exclusive ✗ (dispatch overhead + LIFO concentration).
+- Case 2: Hermes > exclusive > reuseport (busy/hung-worker avoidance).
+- Case 3: exclusive ✗ (long-lived connection concentration).
+- Case 4: reuseport ✗ (stateless hashing onto overloaded workers);
+  Hermes ≈ exclusive, Hermes slightly behind at heavy (closed-loop lag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import mark_effectiveness, render_table
+from .common import MODES_UNDER_TEST, CellResult, compare_modes
+
+__all__ = ["Table3Result", "run_table3", "render_table3", "TABLE3_PORTS",
+           "CASE_ORDER", "LOAD_ORDER"]
+
+#: Multi-tenant port plan: 200 tenant ports, exposing exclusive's
+#: O(#ports) dispatch cost.
+TABLE3_PORTS: Tuple[int, ...] = tuple(range(20001, 20201))
+
+CASE_ORDER = ("case1", "case2", "case3", "case4")
+LOAD_ORDER = ("light", "medium", "heavy")
+
+#: Simulated seconds of traffic generation per cell.  High-rate cases use
+#: shorter windows to bound wall-clock cost without losing the shape.
+_DURATIONS = {"case1": 2.5, "case2": 4.0, "case3": 3.0, "case4": 6.0}
+
+
+@dataclass
+class Table3Result:
+    """All cells: (case, load, mode) -> CellResult, plus ✓/✗ marks."""
+
+    cells: Dict[Tuple[str, str, str], CellResult]
+    marks: Dict[Tuple[str, str, str], str]
+
+    def cell(self, case: str, load: str, mode: str) -> CellResult:
+        return self.cells[(case, load, mode)]
+
+    def mode_mark(self, case: str, mode: str) -> str:
+        """The paper's per-case verdict: ✗ if a mode is marked bad in any
+        load, or never performs best."""
+        bad = sum(1 for load in LOAD_ORDER
+                  if self.marks[(case, load, mode)] == "x")
+        return "x" if bad >= 1 else "ok"
+
+
+def run_table3(cases: Sequence[str] = CASE_ORDER,
+               loads: Sequence[str] = LOAD_ORDER,
+               n_workers: int = 8, seed: int = 11,
+               ports: Sequence[int] = TABLE3_PORTS,
+               durations: Optional[Dict[str, float]] = None,
+               settle: float = 1.5) -> Table3Result:
+    """Run the grid.  ~3-4 minutes at the default scale."""
+    durations = durations or _DURATIONS
+    cells: Dict[Tuple[str, str, str], CellResult] = {}
+    marks: Dict[Tuple[str, str, str], str] = {}
+    for case in cases:
+        for load in loads:
+            results = compare_modes(
+                case, load, n_workers=n_workers,
+                duration=durations.get(case, 3.0), ports=ports, seed=seed,
+                settle=settle)
+            for mode, result in results.items():
+                cells[(case, load, mode)] = result
+            cell_marks = mark_effectiveness({
+                mode: {"avg": r.avg_ms, "p99": r.p99_ms,
+                       "thr": r.throughput_rps}
+                for mode, r in results.items()})
+            for mode, mark in cell_marks.items():
+                marks[(case, load, mode)] = mark
+    return Table3Result(cells=cells, marks=marks)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Paper-layout rows: one row per (case, mode) with 9 numeric cells."""
+    headers = ["Case", "Mode",
+               "L.avg(ms)", "L.p99", "L.thr(k)",
+               "M.avg(ms)", "M.p99", "M.thr(k)",
+               "H.avg(ms)", "H.p99", "H.thr(k)", "verdict"]
+    rows: List[List] = []
+    mode_names = [m.value for m in MODES_UNDER_TEST]
+    for case in CASE_ORDER:
+        if (case, "light", mode_names[0]) not in result.cells:
+            continue
+        for mode in mode_names:
+            row: List = [case, mode]
+            for load in LOAD_ORDER:
+                cell = result.cells[(case, load, mode)]
+                mark = result.marks[(case, load, mode)]
+                suffix = " (x)" if mark == "x" else ""
+                row.extend([f"{cell.avg_ms:.2f}{suffix}",
+                            f"{cell.p99_ms:.2f}",
+                            f"{cell.throughput_rps / 1e3:.2f}"])
+            row.append(result.mode_mark(case, mode))
+            rows.append(row)
+    return render_table(headers, rows,
+                        title="Table 3: case x mode x load "
+                              "(avg/P99 latency, throughput)")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(render_table3(run_table3()))

@@ -1,0 +1,52 @@
+"""Simulated Linux kernel substrate.
+
+Faithful-in-behaviour models of the kernel mechanisms the paper builds on:
+wait queues with exclusive/LIFO/roundrobin wakeups, epoll instances, accept
+queues, SO_REUSEPORT groups with the eBPF selection hook, flow hashing, and
+NIC RSS.
+"""
+
+from .epoll import MAX_EVENTS, Epoll, EpollEvent
+from .hash import FourTuple, jhash_4tuple, jhash_words, reciprocal_scale
+from .nic import Nic, RssPlusPlusBalancer
+from .reuseport import ReuseportContext, ReuseportGroup
+from .socket import (
+    EPOLLERR,
+    EPOLLHUP,
+    EPOLLIN,
+    EPOLLOUT,
+    SOMAXCONN,
+    ConnSocket,
+    ListeningSocket,
+)
+from .tcp import Connection, ConnState, NetStack, PortBinding, Request
+from .waitqueue import WaitEntry, WaitPolicy, WaitQueue
+
+__all__ = [
+    "Connection",
+    "ConnSocket",
+    "ConnState",
+    "EPOLLERR",
+    "EPOLLHUP",
+    "EPOLLIN",
+    "EPOLLOUT",
+    "Epoll",
+    "EpollEvent",
+    "FourTuple",
+    "ListeningSocket",
+    "MAX_EVENTS",
+    "NetStack",
+    "Nic",
+    "PortBinding",
+    "ReuseportContext",
+    "ReuseportGroup",
+    "RssPlusPlusBalancer",
+    "Request",
+    "SOMAXCONN",
+    "WaitEntry",
+    "WaitPolicy",
+    "WaitQueue",
+    "jhash_4tuple",
+    "jhash_words",
+    "reciprocal_scale",
+]

@@ -1,0 +1,127 @@
+"""NIC receive-side scaling (RSS) model.
+
+Used by the Fig. 7 motivation experiment: RSS spreads *packets* evenly over
+hardware queues, yet per-core CPU utilization stays unbalanced because L7
+processing cost varies per connection.  The NIC only sees packet counts.
+
+The model follows real RSS: a hash over the 4-tuple indexes a 128-entry
+indirection table whose entries name receive queues.  RSS++-style rebalancing
+is possible by reprogramming the table (`set_indirection`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .hash import FourTuple, jhash_4tuple
+
+__all__ = ["Nic", "RssPlusPlusBalancer", "INDIRECTION_TABLE_SIZE"]
+
+#: Common hardware indirection table size.
+INDIRECTION_TABLE_SIZE = 128
+
+
+class Nic:
+    """A NIC with ``n_queues`` receive queues fed by an RSS hash."""
+
+    def __init__(self, n_queues: int, hash_seed: int = 0,
+                 table_size: int = INDIRECTION_TABLE_SIZE):
+        if n_queues < 1:
+            raise ValueError(f"need at least one queue, got {n_queues}")
+        self.n_queues = n_queues
+        self.hash_seed = hash_seed
+        #: Indirection table: hash-bucket -> queue id (round-robin default).
+        self.indirection: List[int] = [
+            i % n_queues for i in range(table_size)]
+        #: Packets delivered per queue.
+        self.queue_packets: List[int] = [0] * n_queues
+        #: Bytes delivered per queue.
+        self.queue_bytes: List[int] = [0] * n_queues
+        #: Optional tap called per arrival — e.g. an RSS++ balancer's
+        #: ``observe``.
+        self.on_receive = None
+
+    def rss_queue(self, four_tuple: FourTuple) -> int:
+        """The receive queue RSS picks for this flow."""
+        flow_hash = jhash_4tuple(four_tuple, self.hash_seed)
+        bucket = flow_hash % len(self.indirection)
+        return self.indirection[bucket]
+
+    def receive(self, four_tuple: FourTuple, packets: int = 1,
+                size_bytes: int = 0) -> int:
+        """Account packet arrivals to the RSS-selected queue."""
+        queue = self.rss_queue(four_tuple)
+        self.queue_packets[queue] += packets
+        self.queue_bytes[queue] += size_bytes
+        if self.on_receive is not None:
+            self.on_receive(four_tuple, packets)
+        return queue
+
+    def set_indirection(self, bucket: int, queue: int) -> None:
+        """Reprogram one indirection entry (the RSS++ rebalancing knob)."""
+        if not 0 <= queue < self.n_queues:
+            raise ValueError(f"queue {queue} out of range")
+        self.indirection[bucket % len(self.indirection)] = queue
+
+    def reset_counters(self) -> None:
+        self.queue_packets = [0] * self.n_queues
+        self.queue_bytes = [0] * self.n_queues
+
+
+class RssPlusPlusBalancer:
+    """RSS++-style NIC rebalancing (Barbette et al., CoNEXT'19).
+
+    Periodically migrates indirection-table buckets from the hottest queue
+    to the coldest, equalizing *packet* counts.  §3's point: this is the
+    right tool for L3/L4 (per-packet cost ≈ constant) and the wrong tool
+    for L7 (per-connection cost varies wildly) — the experiment in
+    ``repro.experiments.fig7`` quantifies exactly that gap.
+    """
+
+    def __init__(self, nic: Nic, buckets_per_round: int = 4):
+        if buckets_per_round < 1:
+            raise ValueError("buckets_per_round must be >= 1")
+        self.nic = nic
+        self.buckets_per_round = buckets_per_round
+        #: Per-bucket packet counts observed since the last rebalance.
+        self._bucket_packets = [0] * len(nic.indirection)
+        self.rebalances = 0
+        self.buckets_moved = 0
+
+    def observe(self, four_tuple: FourTuple, packets: int = 1) -> None:
+        """Account a flow's packets to its indirection bucket."""
+        flow_hash = jhash_4tuple(four_tuple, self.nic.hash_seed)
+        self._bucket_packets[flow_hash % len(self.nic.indirection)] += \
+            packets
+
+    def rebalance(self) -> int:
+        """One RSS++ round: move the hottest queue's busiest buckets to
+        the coldest queue.  Returns the number of buckets moved."""
+        nic = self.nic
+        queue_load = [0] * nic.n_queues
+        for bucket, packets in enumerate(self._bucket_packets):
+            queue_load[nic.indirection[bucket]] += packets
+        hot = max(range(nic.n_queues), key=lambda q: queue_load[q])
+        cold = min(range(nic.n_queues), key=lambda q: queue_load[q])
+        if hot == cold or queue_load[hot] == queue_load[cold]:
+            return 0
+        surplus = (queue_load[hot] - queue_load[cold]) / 2
+        hot_buckets = sorted(
+            (b for b in range(len(nic.indirection))
+             if nic.indirection[b] == hot),
+            key=lambda b: self._bucket_packets[b], reverse=True)
+        moved = 0
+        transferred = 0
+        for bucket in hot_buckets:
+            if moved >= self.buckets_per_round or transferred >= surplus:
+                break
+            # Never empty the hot queue entirely.
+            if moved + 1 >= len(hot_buckets):
+                break
+            nic.set_indirection(bucket, cold)
+            transferred += self._bucket_packets[bucket]
+            moved += 1
+        self._bucket_packets = [0] * len(nic.indirection)
+        self.rebalances += 1
+        self.buckets_moved += moved
+        return moved

@@ -1,0 +1,112 @@
+"""SO_REUSEPORT socket groups with an eBPF selection hook.
+
+A :class:`ReuseportGroup` holds every socket bound to one port with
+``SO_REUSEPORT``.  Incoming connections (at SYN time, before the handshake
+completes) are mapped to a member socket either by:
+
+- the default stateless hash — ``reciprocal_scale(jhash(4-tuple), n)`` over
+  the group's socket array, exactly as ``reuseport_select_sock`` does; or
+- an attached program (the ``SO_ATTACH_REUSEPORT_EBPF`` hook, Linux 4.5+),
+  which may pick any member socket.  If the program declines (returns None)
+  or picks an invalid/closed socket, the kernel falls back to the hash.
+
+This is the hook Hermes overrides with Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from .hash import FourTuple, jhash_4tuple, reciprocal_scale
+from .socket import ListeningSocket
+
+__all__ = ["ReuseportGroup", "ReuseportContext", "SocketSelector"]
+
+
+class ReuseportContext:
+    """What the kernel hands to the selection program for one SYN.
+
+    Mirrors ``sk_reuseport_md``: the precomputed flow hash plus the raw
+    tuple, and the size of the socket array.
+    """
+
+    __slots__ = ("hash", "four_tuple", "num_socks")
+
+    def __init__(self, flow_hash: int, four_tuple: FourTuple, num_socks: int):
+        self.hash = flow_hash
+        self.four_tuple = four_tuple
+        self.num_socks = num_socks
+
+
+class SocketSelector(Protocol):
+    """Anything attachable via ``SO_ATTACH_REUSEPORT_EBPF``."""
+
+    def run(self, ctx: ReuseportContext) -> Optional[int]:
+        """Return a socket-array index, or None to fall back to hashing."""
+        ...  # pragma: no cover - protocol
+
+
+class ReuseportGroup:
+    """All sockets bound to one port with SO_REUSEPORT."""
+
+    def __init__(self, port: int, hash_seed: int = 0):
+        self.port = port
+        self.hash_seed = hash_seed
+        #: The kernel's socks[] array; index order is bind order.
+        self.sockets: List[ListeningSocket] = []
+        self._program: Optional[SocketSelector] = None
+        # -- statistics -----------------------------------------------------
+        self.selected_by_program = 0
+        self.selected_by_hash = 0
+        self.program_fallbacks = 0
+
+    def __len__(self) -> int:
+        return len(self.sockets)
+
+    def add(self, socket: ListeningSocket) -> int:
+        """Bind another socket into the group; returns its array index."""
+        if socket.port != self.port:
+            raise ValueError(
+                f"socket port {socket.port} != group port {self.port}")
+        if socket in self.sockets:
+            raise ValueError("socket already in reuseport group")
+        self.sockets.append(socket)
+        return len(self.sockets) - 1
+
+    def remove(self, socket: ListeningSocket) -> None:
+        """Unbind a socket (process exit closes its fd)."""
+        self.sockets.remove(socket)
+
+    def attach_program(self, program: Optional[SocketSelector]) -> None:
+        """SO_ATTACH_REUSEPORT_EBPF: install/replace the selection program."""
+        self._program = program
+
+    @property
+    def program(self) -> Optional[SocketSelector]:
+        return self._program
+
+    def flow_hash(self, four_tuple: FourTuple) -> int:
+        return jhash_4tuple(four_tuple, self.hash_seed)
+
+    def select(self, four_tuple: FourTuple) -> Optional[ListeningSocket]:
+        """Pick the member socket for an incoming SYN.
+
+        Follows ``reuseport_select_sock``: try the attached program first;
+        on decline or invalid result, fall back to hash selection over the
+        socket array.  Returns None only when the group is empty.
+        """
+        open_sockets = [s for s in self.sockets if not s.closed]
+        if not open_sockets:
+            return None
+        flow_hash = self.flow_hash(four_tuple)
+        if self._program is not None:
+            ctx = ReuseportContext(flow_hash, four_tuple, len(self.sockets))
+            index = self._program.run(ctx)
+            if index is not None and 0 <= index < len(self.sockets):
+                candidate = self.sockets[index]
+                if not candidate.closed:
+                    self.selected_by_program += 1
+                    return candidate
+            self.program_fallbacks += 1
+        self.selected_by_hash += 1
+        return open_sockets[reciprocal_scale(flow_hash, len(open_sockets))]

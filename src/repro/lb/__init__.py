@@ -1,0 +1,28 @@
+"""The L7 load-balancer application layer."""
+
+from .backend import BackendPool, BackendServer
+from .dispatcher import DispatcherWorker
+from .metrics import DeviceMetrics, WorkerMetrics, stddev
+from .probes import ProbeReport, Prober
+from .server import LBServer, NotificationMode
+from .tenant import Tenant, TenantDirectory
+from .worker import HermesBinding, ServiceProfile, Worker, WorkerState
+
+__all__ = [
+    "BackendPool",
+    "BackendServer",
+    "DeviceMetrics",
+    "DispatcherWorker",
+    "HermesBinding",
+    "LBServer",
+    "NotificationMode",
+    "ProbeReport",
+    "Prober",
+    "ServiceProfile",
+    "Tenant",
+    "TenantDirectory",
+    "Worker",
+    "WorkerMetrics",
+    "WorkerState",
+    "stddev",
+]

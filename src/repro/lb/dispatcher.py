@@ -1,0 +1,82 @@
+"""The userspace-dispatcher baseline (§2.2).
+
+An alternative the paper discusses and rejects for L7 LBs: decouple event
+fetching from processing with a dedicated userspace dispatcher that accepts
+every connection and hands it to backend workers by a fair policy (the
+PostgreSQL pattern).  It schedules perfectly — with full userspace
+knowledge — but the dispatcher sits on the critical path and saturates
+under high connections-per-second, which is exactly why Hermes keeps the
+dispatcher *inside the kernel*.
+
+:class:`DispatcherWorker` accepts from every port's shared socket, charges
+a per-connection handoff cost, and assigns the connection to the backend
+worker with the fewest connections (least-loaded, the fair policy).
+Backend workers are ordinary :class:`~repro.lb.worker.Worker` instances
+that never listen — connections appear in their epoll via the handoff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..kernel.socket import ListeningSocket
+from ..sim.engine import Environment
+from .worker import ServiceProfile, Worker
+
+__all__ = ["DispatcherWorker", "DISPATCH_HANDOFF_COST"]
+
+#: Userspace CPU cost of one accept + pick + handoff (fd passing or
+#: queueing into the target worker) — the critical-path cost that caps the
+#: dispatcher's CPS.
+DISPATCH_HANDOFF_COST = 12e-6
+
+
+class DispatcherWorker(Worker):
+    """A dedicated dispatcher: accepts everything, processes nothing."""
+
+    def __init__(self, env: Environment, worker_id: int, epoll, metrics,
+                 device, profile: Optional[ServiceProfile] = None,
+                 config=None,
+                 handoff_cost: float = DISPATCH_HANDOFF_COST):
+        super().__init__(env, worker_id, epoll, metrics, device,
+                         profile=profile, config=config, hermes=None)
+        self.backends: List[Worker] = []
+        self.handoff_cost = handoff_cost
+        self.dispatched = 0
+        self._rr_cursor = 0
+
+    def _pick_backend(self) -> Optional[Worker]:
+        """Least-loaded backend; ties broken round-robin.
+
+        Short-lived connections leave most backends at equal (zero) load,
+        so pure ``min()`` would pin every tie on the first backend.
+        """
+        alive = [w for w in self.backends if w.is_alive]
+        if not alive:
+            return None
+        lowest = min(len(w.conns) for w in alive)
+        candidates = [w for w in alive if len(w.conns) == lowest]
+        self._rr_cursor = (self._rr_cursor + 1) % len(candidates)
+        return candidates[self._rr_cursor]
+
+    def _accept_handler(self, sock: ListeningSocket):
+        conn = sock.accept()
+        if conn is None:
+            if self.profile.accept_miss_cost > 0:
+                yield from self._busy(self.profile.accept_miss_cost)
+            return
+        # Accept + scheduling decision + fd handoff, all on this core.
+        yield from self._busy(self.profile.accept_cost + self.handoff_cost)
+        target = self._pick_backend()
+        if target is None:
+            conn.reset("no backend workers available")
+            self.device.record_failure()
+            return
+        fd = conn.mark_accepted(target, self.env.now)
+        target.epoll.ctl_add(
+            fd, edge_triggered=target.profile.edge_triggered)
+        target.conns[fd] = conn
+        target.metrics.accepted += 1
+        target.metrics.connections.increment()
+        self.device.connections_accepted += 1
+        self.dispatched += 1

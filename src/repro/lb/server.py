@@ -1,0 +1,255 @@
+"""One L7 LB device: workers, ports, and the notification mode wiring.
+
+An :class:`LBServer` is a VM with ``n_workers`` cores, each running one
+worker process, serving a set of tenant ports.  The ``mode`` selects the
+I/O event notification mechanism under test:
+
+- ``HERD`` — pre-4.5 epoll: every worker's epoll registers non-exclusively
+  on shared per-port sockets (thundering-herd wakeups).
+- ``EXCLUSIVE`` — EPOLLEXCLUSIVE on shared sockets (LIFO wakeups).
+- ``EXCLUSIVE_RR`` — the epoll-roundrobin proposal (rotating wakeups).
+- ``REUSEPORT`` — per-worker SO_REUSEPORT sockets, stateless hash dispatch.
+- ``HERMES`` — reuseport sockets plus the full closed loop: WST, cascading
+  scheduler embedded in every worker, eBPF dispatch program attached to
+  every port's reuseport group.
+
+Failure injection mirrors the paper's exception cases: :meth:`crash_worker`
+kills a process (sockets linger until :meth:`detect_and_clean_worker`, the
+probe-detection window of §7), and :meth:`hang_worker` blocks one worker's
+loop for a duration.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import HermesConfig
+from ..core.groups import GroupedDispatchProgram, HermesGroup, build_groups
+from ..kernel.epoll import Epoll
+from ..kernel.nic import Nic
+from ..kernel.socket import ListeningSocket
+from ..kernel.tcp import Connection, NetStack, Request
+from ..sim.engine import Environment
+from .metrics import DeviceMetrics
+from .worker import HermesBinding, ServiceProfile, Worker
+
+__all__ = ["LBServer", "NotificationMode"]
+
+
+class NotificationMode(Enum):
+    HERD = "herd"
+    EXCLUSIVE = "exclusive"
+    EXCLUSIVE_RR = "exclusive_rr"
+    #: io_uring-style FIFO wakeup order on shared sockets (§8): fixed
+    #: order like exclusive, just from the other end of the queue.
+    IOURING_FIFO = "iouring_fifo"
+    REUSEPORT = "reuseport"
+    HERMES = "hermes"
+    #: The §2.2 userspace-dispatcher baseline: one dedicated worker
+    #: accepts everything and hands off least-loaded.
+    USERSPACE_DISPATCHER = "userspace_dispatcher"
+
+    @property
+    def uses_shared_sockets(self) -> bool:
+        return self in (NotificationMode.HERD, NotificationMode.EXCLUSIVE,
+                        NotificationMode.EXCLUSIVE_RR,
+                        NotificationMode.IOURING_FIFO,
+                        NotificationMode.USERSPACE_DISPATCHER)
+
+
+class LBServer:
+    """A single L7 LB device (VM) with one worker per core."""
+
+    def __init__(self, env: Environment, n_workers: int,
+                 ports: Sequence[int], mode: NotificationMode,
+                 config: Optional[HermesConfig] = None,
+                 profile: Optional[ServiceProfile] = None,
+                 hash_seed: int = 0, nic: Optional[Nic] = None,
+                 group_key_mode: str = "four_tuple",
+                 stagger_registration: bool = False,
+                 name: str = "lb"):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if not ports:
+            raise ValueError("need at least one port")
+        self.env = env
+        self.name = name
+        self.mode = mode
+        self.ports = list(ports)
+        self.config = config or HermesConfig()
+        self.profile = profile or ServiceProfile()
+        self.stack = NetStack(env, hash_seed=hash_seed, nic=nic)
+        self.metrics = DeviceMetrics(env)
+        self.groups: List[HermesGroup] = []
+        self.dispatch_program = None
+        #: worker_id -> {port -> dedicated socket} (reuseport modes).
+        self._worker_sockets: Dict[int, Dict[int, ListeningSocket]] = {}
+
+        self.workers: List[Worker] = []
+        dispatcher_mode = mode is NotificationMode.USERSPACE_DISPATCHER
+        if dispatcher_mode and n_workers < 2:
+            raise ValueError("dispatcher mode needs >= 2 workers")
+        for worker_id in range(n_workers):
+            epoll = Epoll(env, name=f"{name}.w{worker_id}")
+            worker_metrics = self.metrics.register_worker(worker_id)
+            if dispatcher_mode and worker_id == 0:
+                from .dispatcher import DispatcherWorker
+                self.workers.append(DispatcherWorker(
+                    env, worker_id, epoll, worker_metrics, self.metrics,
+                    profile=self.profile, config=self.config))
+            else:
+                self.workers.append(Worker(
+                    env, worker_id, epoll, worker_metrics, self.metrics,
+                    profile=self.profile, config=self.config))
+
+        if mode is NotificationMode.HERMES:
+            self._setup_hermes(group_key_mode)
+        elif mode is NotificationMode.REUSEPORT:
+            self._setup_reuseport()
+        elif dispatcher_mode:
+            self._setup_dispatcher()
+        else:
+            self._setup_shared(stagger_registration)
+
+    # -- wiring --------------------------------------------------------------
+    def _setup_dispatcher(self) -> None:
+        """§2.2 baseline: only the dispatcher (worker 0) listens."""
+        dispatcher = self.workers[0]
+        dispatcher.backends = self.workers[1:]
+        for port in self.ports:
+            socket = self.stack.bind_shared(port)
+            dispatcher.add_listen_socket(socket)
+
+    def _setup_shared(self, stagger: bool) -> None:
+        exclusive = self.mode is not NotificationMode.HERD
+        rotate = self.mode is NotificationMode.EXCLUSIVE_RR
+        insertion = ("tail" if self.mode is NotificationMode.IOURING_FIFO
+                     else "head")
+        n = len(self.workers)
+        for port_index, port in enumerate(self.ports):
+            socket = self.stack.bind_shared(port, rotate_on_wake=rotate,
+                                            waiter_insertion=insertion)
+            # Registration order controls which worker sits at the wait
+            # queue head (the LIFO winner).  Staggering rotates it per port
+            # — the failed mitigation discussed in §7.
+            offset = port_index % n if stagger else 0
+            for i in range(n):
+                worker = self.workers[(i + offset) % n]
+                worker.add_listen_socket(socket, exclusive=exclusive)
+
+    def _setup_reuseport(self) -> None:
+        for port in self.ports:
+            for worker in self.workers:
+                socket = self.stack.bind_reuseport(port, owner=worker)
+                worker.add_listen_socket(socket)
+                self._worker_sockets.setdefault(
+                    worker.worker_id, {})[port] = socket
+
+    def _setup_hermes(self, group_key_mode: str) -> None:
+        clock = lambda: self.env.now  # noqa: E731 - tiny closure
+        capacity = (
+            [self.profile.max_connections] * len(self.workers)
+            if self.profile.max_connections is not None else None)
+        self.groups = build_groups(
+            len(self.workers), config=self.config, clock=clock,
+            capacity_limits=capacity)
+        # Per-group schedulers need the sim clock; build_groups wired it.
+        for group in self.groups:
+            for rank, worker_id in enumerate(group.worker_ids):
+                self.workers[worker_id].hermes = HermesBinding(
+                    group=group, rank=rank)
+        if len(self.groups) == 1:
+            self.dispatch_program = self.groups[0].program
+        else:
+            self.dispatch_program = GroupedDispatchProgram(
+                self.groups, key_mode=group_key_mode)
+        # Reuseport sockets are bound in worker order for every port, so a
+        # worker's member-socket index equals its global worker id.
+        for port in self.ports:
+            for worker in self.workers:
+                socket = self.stack.bind_reuseport(port, owner=worker)
+                worker.add_listen_socket(socket)
+                self._worker_sockets.setdefault(
+                    worker.worker_id, {})[port] = socket
+            self.stack.group_for(port).attach_program(self.dispatch_program)
+        for group in self.groups:
+            for rank, worker_id in enumerate(group.worker_ids):
+                group.sock_map.install(rank, worker_id)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every worker process."""
+        for worker in self.workers:
+            worker.refresh_socket_accounting()
+            worker.start()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def alive_workers(self) -> List[Worker]:
+        return [w for w in self.workers if w.is_alive]
+
+    # -- traffic entry points --------------------------------------------------
+    def connect(self, connection: Connection) -> bool:
+        """A new client connection (SYN) arrives at this device."""
+        accepted = self.stack.connect(connection)
+        if not accepted:
+            self.metrics.connections_refused += 1
+        return accepted
+
+    def deliver(self, connection: Connection, request: Request) -> None:
+        """Client data arrives on an established connection."""
+        self.stack.deliver(connection, request)
+
+    # -- failure injection -----------------------------------------------------
+    def hang_worker(self, worker_id: int, duration: float) -> None:
+        self.workers[worker_id].inject_hang(duration)
+
+    def crash_worker(self, worker_id: int,
+                     cleanup_delay: Optional[float] = None) -> None:
+        """Kill a worker.  Its sockets stay in the reuseport group until
+        cleanup (``cleanup_delay`` seconds later; None = never), modelling
+        the probe-based failure-detection window."""
+        worker = self.workers[worker_id]
+        worker.crash()
+        if cleanup_delay is not None:
+            self.env.schedule_callback(
+                cleanup_delay, lambda: self.detect_and_clean_worker(worker_id))
+
+    def detect_and_clean_worker(self, worker_id: int) -> int:
+        """Failure detected: close the worker's sockets, reset its
+        connections so clients can re-establish.  Returns the number of
+        connections that were killed (the blast radius)."""
+        worker = self.workers[worker_id]
+        for socket in self._worker_sockets.get(worker_id, {}).values():
+            # Close in place (tombstone) so member-socket indices of the
+            # other workers stay stable, as REUSEPORT_SOCKARRAY slots do.
+            socket.close()
+        if worker.hermes is not None:
+            group = worker.hermes.group
+            group.sock_map.remove(worker.hermes.rank)
+        blast = len(worker.conns)
+        for conn in list(worker.conns.values()):
+            conn.reset("worker crashed")
+            self.metrics.record_failure()
+        worker.conns.clear()
+        worker.metrics.connections.set(0)
+        return blast
+
+    # -- introspection -----------------------------------------------------------
+    def worker_socket(self, worker_id: int, port: int) -> ListeningSocket:
+        """The dedicated socket of a worker on a port (reuseport modes)."""
+        return self._worker_sockets[worker_id][port]
+
+    def connection_counts(self) -> List[int]:
+        return [len(w.conns) for w in self.workers]
+
+    def cpu_utilizations(self) -> List[float]:
+        return self.metrics.cpu_utilizations()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LBServer {self.name} mode={self.mode.value} "
+                f"workers={len(self.workers)} ports={len(self.ports)}>")

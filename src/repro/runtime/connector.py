@@ -1,0 +1,109 @@
+"""Connection-originator dispatch over the real worker pool.
+
+The Algorithm-2 logic at the connection source: read the shared 64-bit
+bitmap the real workers' schedulers maintain, popcount it, scale a flow
+hash into the candidate count, locate the Nth set bit, connect to that
+worker's port.  :class:`HashConnector` is the stateless-reuseport
+baseline (hash over *all* workers, no status awareness).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.bitmap import find_nth_set_bit, popcount64
+from ..kernel.hash import reciprocal_scale
+from ..sim.rng import Stream
+from .shm import ShmSelectionMap
+
+__all__ = ["HermesConnector", "HashConnector", "RequestResult"]
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    worker_index: int
+    latency: float
+    ok: bool
+
+
+@dataclass
+class _BaseConnector:
+    ports: Sequence[int]
+    rng: Stream
+    timeout: float = 2.0
+    results: List[RequestResult] = field(default_factory=list)
+
+    def _pick(self) -> int:
+        raise NotImplementedError
+
+    def request(self, payload: bytes = b"ping") -> RequestResult:
+        """One connection, one request, one echo — measured end to end."""
+        index = self._pick()
+        start = time.monotonic()
+        ok = True
+        try:
+            with socket.create_connection(
+                    ("127.0.0.1", self.ports[index]),
+                    timeout=self.timeout) as conn:
+                conn.sendall(payload)
+                received = b""
+                expected = b"echo:" + payload
+                while len(received) < len(expected):
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    received += chunk
+                ok = received == expected
+        except OSError:
+            ok = False
+        result = RequestResult(worker_index=index,
+                               latency=time.monotonic() - start, ok=ok)
+        self.results.append(result)
+        return result
+
+    # -- aggregates ---------------------------------------------------------
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.results if r.ok]
+
+    def per_worker_counts(self) -> List[int]:
+        counts = [0] * len(self.ports)
+        for r in self.results:
+            counts[r.worker_index] += 1
+        return counts
+
+    def failures(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+
+@dataclass
+class HashConnector(_BaseConnector):
+    """Stateless dispatch: hash (here: uniform random) over all workers."""
+
+    def _pick(self) -> int:
+        return reciprocal_scale(self.rng.getrandbits(32), len(self.ports))
+
+
+@dataclass
+class HermesConnector(_BaseConnector):
+    """Userspace-directed dispatch: Algorithm 2 over the live bitmap."""
+
+    sel_map: Optional[ShmSelectionMap] = None
+    min_workers: int = 1
+    fallbacks: int = 0
+
+    def _pick(self) -> int:
+        flow_hash = self.rng.getrandbits(32)
+        bitmap = self.sel_map.read_from_user(0) if self.sel_map else 0
+        n = popcount64(bitmap)
+        if n < self.min_workers:
+            self.fallbacks += 1
+            return reciprocal_scale(flow_hash, len(self.ports))
+        nth = reciprocal_scale(flow_hash, n)
+        worker = find_nth_set_bit(bitmap, nth)
+        if worker >= len(self.ports):  # stale bitmap bit
+            self.fallbacks += 1
+            return reciprocal_scale(flow_hash, len(self.ports))
+        return worker

@@ -1,0 +1,202 @@
+"""A real multi-process echo LB running the Hermes loop natively.
+
+Worker processes are genuine OS processes; each runs the Fig.-9 event loop
+over a real epoll (``selectors.DefaultSelector`` is epoll on Linux),
+serves a real TCP socket, and executes the *same*
+:class:`~repro.core.scheduler.CascadingScheduler` code the simulation
+uses — over the real shared-memory WST of :mod:`repro.runtime.shm`.
+
+One substitution (documented in DESIGN.md): Python cannot attach an eBPF
+program to a reuseport group, so the Algorithm-2 dispatch point moves from
+the kernel to the connection originator — each worker listens on its own
+port, and :mod:`repro.runtime.connector` picks the destination port with
+the same popcount/reciprocal_scale/find-nth-bit logic over the shared
+bitmap.  (In production this steering position exists too: the L4 layer
+rewrites destination ports per tenant, Fig. 1.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import selectors
+import socket
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import HermesConfig
+from ..core.scheduler import CascadingScheduler
+from .shm import ShmSelectionMap, ShmWorkerStatusTable
+
+__all__ = ["RealWorkerPool", "worker_main"]
+
+_BACKLOG = 128
+_RECV_SIZE = 4096
+
+
+def worker_main(worker_id: int, port: int, wst_name: str,
+                sel_map_name: str, n_workers: int,
+                stop_event, ready_event,
+                slow_per_request: float = 0.0,
+                config: Optional[HermesConfig] = None) -> None:
+    """Entry point of one real worker process."""
+    config = config or HermesConfig(epoll_timeout=0.005, min_workers=1)
+    wst = ShmWorkerStatusTable.attach(wst_name, n_workers,
+                                      clock=time.monotonic)
+    sel_map = ShmSelectionMap.attach(sel_map_name)
+    scheduler = CascadingScheduler(wst, sel_map, config=config,
+                                   clock=time.monotonic)
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    listener.bind(("127.0.0.1", port))
+    listener.listen(_BACKLOG)
+    listener.setblocking(False)
+
+    selector = selectors.DefaultSelector()  # epoll on Linux
+    selector.register(listener, selectors.EVENT_READ, "accept")
+    conn_count = 0
+    ready_event.set()
+
+    try:
+        while not stop_event.is_set():
+            # Fig. 9 line 12: shm_avail_update(current_time).
+            wst.touch_timestamp(worker_id)
+            events = selector.select(timeout=config.epoll_timeout)
+            if events:
+                # shm_busy_count(event_num).
+                wst.add_events(worker_id, len(events))
+            for key, _mask in events:
+                if key.data == "accept":
+                    try:
+                        conn, _addr = listener.accept()
+                    except BlockingIOError:
+                        pass
+                    else:
+                        conn.setblocking(False)
+                        selector.register(conn, selectors.EVENT_READ,
+                                          "conn")
+                        conn_count += 1
+                        wst.add_conns(worker_id, +1)
+                else:
+                    conn = key.fileobj
+                    try:
+                        data = conn.recv(_RECV_SIZE)
+                    except (BlockingIOError, InterruptedError):
+                        data = None
+                    except (ConnectionResetError, OSError):
+                        data = b""
+                    if data is None:
+                        pass
+                    elif data:
+                        if slow_per_request > 0:
+                            # The worker-hang injection: a CPU-expensive
+                            # handler (SSL, compression) per request.
+                            time.sleep(slow_per_request)
+                        try:
+                            conn.sendall(b"echo:" + data)
+                        except OSError:
+                            pass
+                    else:
+                        selector.unregister(conn)
+                        conn.close()
+                        conn_count -= 1
+                        wst.add_conns(worker_id, -1)
+                wst.add_events(worker_id, -1)
+            # Fig. 9 line 20: schedule_and_sync() at loop end.
+            scheduler.schedule_and_sync()
+    finally:
+        selector.close()
+        listener.close()
+        wst.close()
+        sel_map.close()
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    port: int
+    process: multiprocessing.Process
+
+
+class RealWorkerPool:
+    """Spawns and supervises the real worker processes."""
+
+    def __init__(self, n_workers: int, base_port: int = 0,
+                 slow_workers: Optional[dict] = None,
+                 config: Optional[HermesConfig] = None):
+        if n_workers < 1 or n_workers > 64:
+            raise ValueError("n_workers must be in [1, 64]")
+        self.n_workers = n_workers
+        self.config = config
+        self.slow_workers = slow_workers or {}
+        self.wst = ShmWorkerStatusTable(n_workers, clock=time.monotonic)
+        self.sel_map = ShmSelectionMap()
+        self._ctx = multiprocessing.get_context("fork")
+        self._stop = self._ctx.Event()
+        self.workers: List[_WorkerHandle] = []
+        self.ports: List[int] = []
+        self._base_port = base_port
+
+    def _pick_ports(self) -> List[int]:
+        """Grab free localhost ports (one per worker)."""
+        if self._base_port:
+            return [self._base_port + i for i in range(self.n_workers)]
+        ports, holders = [], []
+        for _ in range(self.n_workers):
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            s.bind(("127.0.0.1", 0))
+            ports.append(s.getsockname()[1])
+            holders.append(s)
+        for s in holders:
+            s.close()
+        return ports
+
+    def start(self, timeout: float = 5.0) -> None:
+        self.ports = self._pick_ports()
+        ready_events = []
+        for worker_id, port in enumerate(self.ports):
+            ready = self._ctx.Event()
+            ready_events.append(ready)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(worker_id, port, self.wst.name, self.sel_map.name,
+                      self.n_workers, self._stop, ready),
+                kwargs={"slow_per_request":
+                        self.slow_workers.get(worker_id, 0.0),
+                        "config": self.config},
+                daemon=True)
+            process.start()
+            self.workers.append(_WorkerHandle(worker_id, port, process))
+        deadline = time.monotonic() + timeout
+        for ready in ready_events:
+            if not ready.wait(max(0.0, deadline - time.monotonic())):
+                self.stop()
+                raise RuntimeError("worker failed to start in time")
+
+    def current_bitmap(self) -> int:
+        return self.sel_map.read_from_user(0)
+
+    def snapshot(self):
+        return self.wst.read_all()
+
+    def stop(self, timeout: float = 3.0) -> None:
+        self._stop.set()
+        for handle in self.workers:
+            handle.process.join(timeout)
+            if handle.process.is_alive():  # pragma: no cover - safety net
+                handle.process.terminate()
+                handle.process.join(1.0)
+        self.workers.clear()
+        self.wst.close()
+        self.wst.unlink()
+        self.sel_map.close()
+        self.sel_map.unlink()
+
+    def __enter__(self) -> "RealWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,448 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free coroutine kernel in the style of SimPy.  Processes
+are Python generators that ``yield`` events; the environment advances a
+virtual clock from event to event.  Determinism is guaranteed: events
+scheduled for the same timestamp fire in (priority, insertion order).
+
+The engine is the substrate every simulated component (kernel wait queues,
+epoll instances, L7 workers, traffic generators) runs on.  It is deliberately
+minimal — only the primitives the load-balancer model needs:
+
+- :class:`Environment` — clock + event heap + ``run()``.
+- :class:`Event` — one-shot triggerable value/error carrier.
+- :class:`Timeout` — an event that fires after a delay.
+- :class:`Process` — a running generator; itself an event that fires when
+  the generator returns; supports :meth:`Process.interrupt`.
+- :class:`AnyOf` / :class:`AllOf` — condition events.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+#: Priority for "urgent" events (fire before normal events at the same time).
+URGENT = 0
+#: Priority for ordinary events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when scheduled, and
+    *processed* once its callbacks have run.  It carries either a value
+    (``succeed``) or an exception (``fail``).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_scheduled")
+
+    #: Sentinel for "no value yet".
+    PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event.PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._scheduled = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if still pending."""
+        if self._value is Event.PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not Event.PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every waiting process.
+        """
+        if self._value is not Event.PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition -----------------------------------------------------
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kick-starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    A ``Process`` is itself an event: it triggers when the generator
+    returns (with the return value) or raises (with the exception).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        Interrupting a dead process, or a process from within itself,
+        is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver via an urgent event so interrupt wins races at equal time.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+        # Detach from the event the process was waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    # -- scheduling core ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # A stale wakeup (e.g. an interrupt racing process completion
+            # at the same timestamp) must not touch a finished generator.
+            return
+        env = self.env
+        env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    target = self.generator.send(event._value)
+                except StopIteration as exc:
+                    self._finalize(True, exc.value)
+                    break
+                except BaseException as exc:
+                    self._finalize(False, exc)
+                    break
+            else:
+                # Propagate the failure (event error or interrupt) into the
+                # generator; it may catch it and keep running.
+                try:
+                    target = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self._finalize(True, stop.value)
+                    break
+                except BaseException as err:
+                    self._finalize(False, err)
+                    break
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}")
+                try:
+                    self.generator.throw(exc)
+                except BaseException as err:
+                    self._finalize(False, err)
+                    break
+                raise exc
+
+            if target.env is not env:
+                raise SimulationError(
+                    "cannot wait on an event from another environment")
+
+            if target._processed or (target.callbacks is None):
+                # Already fired: continue immediately with its value.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            break
+        env._active_process = None
+
+    def _finalize(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        self.env._schedule(self, NORMAL)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composition events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("all condition events must share an environment")
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None or event._processed:
+                self._check(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._check)
+        if self._value is Event.PENDING and self._pending == 0:
+            # All already processed but condition not yet met (AllOf met it
+            # inside _check; AnyOf with zero events handled above).
+            self._evaluate(final=True)
+
+    # Subclasses decide when the condition is satisfied.
+    def _satisfied(self, done: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._value is not Event.PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        done = sum(1 for ev in self.events if ev._processed and ev._ok)
+        if self._satisfied(done, len(self.events)):
+            self.succeed(self._collect())
+
+    def _evaluate(self, final: bool = False) -> None:
+        done = sum(1 for ev in self.events if ev._processed and ev._ok)
+        if self._satisfied(done, len(self.events)):
+            self.succeed(self._collect())
+        elif final:
+            raise SimulationError("condition can never be satisfied")
+
+    def _collect(self) -> dict:
+        """Values of sub-events that have fired, in declaration order."""
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Fires when any sub-event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self, done: int, total: int) -> bool:
+        return done >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all sub-events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self, done: int, total: int) -> bool:
+        return done >= total
+
+
+class Environment:
+    """The simulation environment: virtual clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run a plain callable after ``delay`` (no process needed)."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _ev: fn())
+        return event
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it even if
+        the queue drains earlier, so post-run measurements see a consistent
+        horizon.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        limit = float(until)
+        if limit < self._now:
+            raise SimulationError(
+                f"cannot run backwards: now={self._now}, until={limit}")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        self._now = limit

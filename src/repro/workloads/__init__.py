@@ -1,0 +1,48 @@
+"""Workload generation: arrival processes, request distributions, the
+paper's four traffic cases, region profiles, traces, and tenant skew."""
+
+from .arrivals import BurstTrain, PiecewiseRate, PoissonArrivals
+from .cases import (
+    CASE_MIX,
+    CASES,
+    LOAD_MULTIPLIERS,
+    CaseDefinition,
+    build_case_workload,
+)
+from .distributions import FixedFactory, QuantileSampler, RequestFactory
+from .generator import ClientStats, TrafficGenerator, WorkloadSpec
+from .regions import REGIONS, RegionProfile
+from .skew import (
+    PAPER_TOP3_REGION_A,
+    PAPER_TOP3_REGION_B,
+    top_heavy_weights,
+    zipf_weights,
+)
+from .trace import Trace, TraceEvent, TraceReplayer, build_trace_from_spec
+
+__all__ = [
+    "BurstTrain",
+    "CASE_MIX",
+    "CASES",
+    "CaseDefinition",
+    "ClientStats",
+    "FixedFactory",
+    "LOAD_MULTIPLIERS",
+    "PAPER_TOP3_REGION_A",
+    "PAPER_TOP3_REGION_B",
+    "PiecewiseRate",
+    "PoissonArrivals",
+    "QuantileSampler",
+    "REGIONS",
+    "RegionProfile",
+    "RequestFactory",
+    "Trace",
+    "TraceEvent",
+    "TraceReplayer",
+    "TrafficGenerator",
+    "WorkloadSpec",
+    "build_case_workload",
+    "build_trace_from_spec",
+    "top_heavy_weights",
+    "zipf_weights",
+]

@@ -1,0 +1,76 @@
+"""Region traffic profiles fitted to Table 1.
+
+Table 1 reports request-size and processing-time quantiles for four global
+regions.  Region3 carries many WebSocket connections — single "requests"
+with enormous sizes and processing times in the far tail, which is why its
+P99 dwarfs its P50/P90.
+
+Each profile exposes quantile samplers fitted to the published knots, and
+the Table 4 case mix for that region, so region-realistic workloads can be
+composed from the four case definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .cases import CASE_MIX
+from .distributions import QuantileSampler
+
+__all__ = ["RegionProfile", "REGIONS"]
+
+_MS = 1e-3
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """One region's measured traffic characteristics (Table 1)."""
+
+    name: str
+    #: (P50, P90, P99) request size in bytes.
+    size_quantiles: Tuple[float, float, float]
+    #: (P50, P90, P99) request processing time in seconds.
+    time_quantiles: Tuple[float, float, float]
+    #: Share of each traffic case (Table 4), percent.
+    case_mix: Dict[str, float]
+
+    def size_sampler(self) -> QuantileSampler:
+        p50, p90, p99 = self.size_quantiles
+        return QuantileSampler([(0.5, p50), (0.9, p90), (0.99, p99)],
+                               floor=64)
+
+    def time_sampler(self) -> QuantileSampler:
+        p50, p90, p99 = self.time_quantiles
+        return QuantileSampler([(0.5, p50), (0.9, p90), (0.99, p99)])
+
+    def dominant_case(self) -> str:
+        return max(self.case_mix, key=self.case_mix.get)
+
+
+REGIONS: Dict[str, RegionProfile] = {
+    "Region1": RegionProfile(
+        name="Region1",
+        size_quantiles=(243, 312, 2491),
+        time_quantiles=(2 * _MS, 9 * _MS, 42 * _MS),
+        case_mix=CASE_MIX["Region1"],
+    ),
+    "Region2": RegionProfile(
+        name="Region2",
+        size_quantiles=(831, 3730, 10132),
+        time_quantiles=(10 * _MS, 77 * _MS, 8190 * _MS),
+        case_mix=CASE_MIX["Region2"],
+    ),
+    "Region3": RegionProfile(
+        name="Region3",
+        size_quantiles=(566, 1951, 50879),
+        time_quantiles=(3 * _MS, 278 * _MS, 49005 * _MS),
+        case_mix=CASE_MIX["Region3"],
+    ),
+    "Region4": RegionProfile(
+        name="Region4",
+        size_quantiles=(721, 1140, 4638),
+        time_quantiles=(4 * _MS, 14 * _MS, 239 * _MS),
+        case_mix=CASE_MIX["Region4"],
+    ),
+}

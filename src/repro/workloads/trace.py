@@ -1,0 +1,168 @@
+"""Traffic trace record & replay.
+
+§6.2: "we collected and replayed traffic from them.  Additionally, we
+replayed traffic at 2 to 3 times the original rate to emulate medium and
+heavy workloads."  A :class:`Trace` records connection-open and request
+events with their timestamps; :class:`TraceReplayer` re-issues them against
+a target, optionally compressing time by a rate multiplier (2× rate ==
+timestamps divided by 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernel.hash import FourTuple
+from ..kernel.tcp import Connection, ConnState, Request
+from ..sim.engine import Environment
+
+__all__ = ["Trace", "TraceEvent", "TraceReplayer", "build_trace_from_spec"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is "open", "request", or "close".  ``conn_key`` groups events
+    of the same original connection.  For requests, ``event_times`` carries
+    the per-event processing times and ``size`` the request size.
+    """
+
+    time: float
+    kind: str
+    conn_key: int
+    four_tuple: FourTuple
+    tenant_id: int = 0
+    event_times: Tuple[float, ...] = ()
+    size: int = 0
+
+
+@dataclass
+class Trace:
+    """An ordered list of trace events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record_open(self, time: float, conn_key: int,
+                    four_tuple: FourTuple, tenant_id: int = 0) -> None:
+        self.events.append(TraceEvent(time, "open", conn_key, four_tuple,
+                                      tenant_id))
+
+    def record_request(self, time: float, conn_key: int,
+                       four_tuple: FourTuple,
+                       event_times: Sequence[float],
+                       size: int = 512, tenant_id: int = 0) -> None:
+        self.events.append(TraceEvent(
+            time, "request", conn_key, four_tuple, tenant_id,
+            tuple(event_times), size))
+
+    def record_close(self, time: float, conn_key: int,
+                     four_tuple: FourTuple) -> None:
+        self.events.append(TraceEvent(time, "close", conn_key, four_tuple))
+
+    def sorted_events(self) -> List[TraceEvent]:
+        return sorted(self.events, key=lambda e: e.time)
+
+    @property
+    def duration(self) -> float:
+        return max((e.time for e in self.events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def build_trace_from_spec(spec, rng) -> Trace:
+    """Materialize a workload spec into a concrete trace.
+
+    Samples the same arrival process, tuples, and request shapes a
+    :class:`~repro.workloads.generator.TrafficGenerator` would produce,
+    but records them instead of sending them — the "collect and replay"
+    workflow of §6.2.
+    """
+    from .generator import LB_IP
+
+    trace = Trace()
+    time = 0.0
+    conn_key = 0
+    while True:
+        time += rng.expovariate(spec.conn_rate)
+        if time >= spec.duration:
+            break
+        conn_key += 1
+        port_index = rng.randrange(len(spec.ports))
+        four_tuple = FourTuple(
+            0x0A000000 + rng.randrange(spec.n_client_ips),
+            rng.randrange(1024, 65535), LB_IP, spec.ports[port_index])
+        trace.record_open(time, conn_key, four_tuple, tenant_id=port_index)
+        request_time = time + spec.first_request_delay
+        for i in range(spec.requests_per_conn):
+            request = spec.factory.build(rng, tenant_id=port_index)
+            trace.record_request(request_time, conn_key, four_tuple,
+                                 request.event_times, request.size_bytes,
+                                 tenant_id=port_index)
+            if spec.request_gap_mean > 0:
+                request_time += rng.expovariate(1.0 / spec.request_gap_mean)
+        trace.record_close(request_time, conn_key, four_tuple)
+    return trace
+
+
+class TraceReplayer:
+    """Replays a trace against a target at ``rate`` × original speed."""
+
+    def __init__(self, env: Environment, target, trace: Trace,
+                 rate: float = 1.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.env = env
+        self.target = target
+        self.trace = trace
+        self.rate = rate
+        self.replayed = 0
+        self.skipped = 0
+        self._conns: dict = {}
+        self._proc: Optional[object] = None
+
+    def start(self) -> None:
+        self._proc = self.env.process(self._run(), name="trace-replay")
+
+    @property
+    def finished(self) -> bool:
+        return self._proc is not None and not self._proc.is_alive
+
+    def _run(self):
+        start = self.env.now
+        for event in self.trace.sorted_events():
+            due = start + event.time / self.rate
+            if due > self.env.now:
+                yield self.env.timeout(due - self.env.now)
+            self._apply(event)
+
+    def _apply(self, event: TraceEvent) -> None:
+        if event.kind == "open":
+            conn = Connection(event.four_tuple, tenant_id=event.tenant_id,
+                              created_time=self.env.now)
+            if self.target.connect(conn):
+                self._conns[event.conn_key] = conn
+                self.replayed += 1
+            else:
+                self.skipped += 1
+        elif event.kind == "request":
+            conn = self._conns.get(event.conn_key)
+            if conn is None or conn.state in (ConnState.RESET,
+                                              ConnState.REFUSED,
+                                              ConnState.CLOSED):
+                self.skipped += 1
+                return
+            request = Request(tenant_id=event.tenant_id,
+                              size_bytes=event.size or 512,
+                              event_times=event.event_times or (0.001,))
+            self.target.deliver(conn, request)
+            self.replayed += 1
+        elif event.kind == "close":
+            conn = self._conns.pop(event.conn_key, None)
+            if conn is not None:
+                conn.client_close()
+                self.replayed += 1
+        else:
+            raise ValueError(f"unknown trace event kind {event.kind!r}")

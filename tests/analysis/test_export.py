@@ -1,0 +1,49 @@
+"""Tests for CSV export helpers."""
+
+import csv
+import io
+
+from repro.analysis import series_to_csv, table_to_csv, write_csv
+
+
+class TestSeriesToCsv:
+    def test_single_series(self):
+        text = series_to_csv({"s": [(0.0, 1.0), (1.0, 2.0)]}, x_label="t")
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["t", "s"]
+        assert rows[1] == ["0.0", "1.0"]
+        assert rows[2] == ["1.0", "2.0"]
+
+    def test_union_of_x_grids(self):
+        text = series_to_csv({
+            "a": [(0.0, 1.0), (2.0, 3.0)],
+            "b": [(1.0, 5.0)],
+        })
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["0.0", "1.0", ""]
+        assert rows[2] == ["1.0", "", "5.0"]
+        assert rows[3] == ["2.0", "3.0", ""]
+
+    def test_empty(self):
+        assert series_to_csv({}) == ""
+
+    def test_x_sorted(self):
+        text = series_to_csv({"s": [(3.0, 1.0), (1.0, 2.0), (2.0, 0.5)]})
+        rows = list(csv.reader(io.StringIO(text)))
+        xs = [float(r[0]) for r in rows[1:]]
+        assert xs == sorted(xs)
+
+
+class TestTableToCsv:
+    def test_roundtrip(self):
+        text = table_to_csv(["a", "b"], [[1, 2], ["x,y", 3.5]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["x,y", "3.5"]]
+
+
+class TestWriteCsv:
+    def test_writes_with_parents(self, tmp_path):
+        target = tmp_path / "nested" / "out.csv"
+        path = write_csv(target, "a,b\n1,2\n")
+        assert path.read_text() == "a,b\n1,2\n"

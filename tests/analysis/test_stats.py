@@ -1,0 +1,93 @@
+"""Tests for analysis statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    cdf_points,
+    coefficient_of_variation,
+    jains_fairness,
+    mean,
+    normalize,
+    percentile,
+    population_sd,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_property_within_range(self, values):
+        p = percentile(values, 50)
+        assert min(values) <= p <= max(values)
+
+
+class TestCdf:
+    def test_ends_at_one(self):
+        points = cdf_points(list(range(50)))
+        assert points[-1][1] == 1.0
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_monotone(self):
+        points = cdf_points([5, 1, 3, 2, 4] * 100)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+
+class TestSpread:
+    def test_population_sd(self):
+        assert population_sd([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_cov(self):
+        assert coefficient_of_variation([10, 10, 10]) == 0.0
+        assert coefficient_of_variation([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestNormalize:
+    def test_first_element_one(self):
+        assert normalize([4, 2, 8]) == [1.0, 0.5, 2.0]
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([0, 1])
+
+
+class TestJainsFairness:
+    def test_perfectly_even(self):
+        assert jains_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hotspot(self):
+        assert jains_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jains_fairness([]) == 1.0
+        assert jains_fairness([0, 0]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_property_bounds(self, values):
+        fairness = jains_fairness(values)
+        assert 1.0 / len(values) - 1e-9 <= fairness <= 1.0 + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for the autoscaling / unit-cost model."""
+
+import pytest
+
+from repro.cluster import AutoscaleModel, unit_cost_series
+
+
+class TestThresholds:
+    def test_effective_threshold_interpolates(self):
+        model = AutoscaleModel(threshold_before=0.3, threshold_after=0.4)
+        assert model.effective_threshold(0.0) == pytest.approx(0.3)
+        assert model.effective_threshold(1.0) == pytest.approx(0.4)
+        assert model.effective_threshold(0.5) == pytest.approx(0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscaleModel(threshold_before=0.5, threshold_after=0.4)
+        with pytest.raises(ValueError):
+            AutoscaleModel(fixed_share=1.0)
+        model = AutoscaleModel()
+        with pytest.raises(ValueError):
+            model.effective_threshold(1.5)
+
+
+class TestFleetSizing:
+    def test_higher_threshold_fewer_devices(self):
+        model = AutoscaleModel()
+        traffic = 1000.0
+        assert model.devices_needed(traffic, 1.0) < \
+            model.devices_needed(traffic, 0.0)
+
+    def test_devices_scale_with_traffic(self):
+        model = AutoscaleModel()
+        assert model.devices_needed(2000.0) >= 2 * model.devices_needed(
+            1000.0) - 1
+
+    def test_minimum_one_device(self):
+        model = AutoscaleModel()
+        assert model.devices_needed(0.0) == 1
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            AutoscaleModel().devices_needed(-1.0)
+
+
+class TestUnitCost:
+    def test_hermes_lowers_unit_cost(self):
+        model = AutoscaleModel()
+        traffic = 1e6
+        assert model.unit_cost(traffic, 1.0) < model.unit_cost(traffic, 0.0)
+
+    def test_max_reduction_below_naive_bound(self):
+        """The fixed cost share caps savings below 1 - 30/40 = 25%."""
+        model = AutoscaleModel(fixed_share=0.25)
+        reduction = model.max_reduction()
+        assert 0.15 < reduction < 0.25
+
+    def test_zero_fixed_share_hits_naive_bound(self):
+        model = AutoscaleModel(fixed_share=0.0)
+        assert model.max_reduction() == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            AutoscaleModel().unit_cost(0.0)
+
+
+class TestSeries:
+    def test_series_shape(self):
+        model = AutoscaleModel()
+        points = unit_cost_series(model, [100, 110, 120], [0.0, 0.5, 1.0])
+        assert [p.month for p in points] == [0, 1, 2]
+        costs = [p.unit_cost for p in points]
+        assert costs[0] > costs[-1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            unit_cost_series(AutoscaleModel(), [1.0], [0.0, 1.0])

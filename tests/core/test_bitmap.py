@@ -1,0 +1,124 @@
+"""Tests for the loop-free bitmap primitives of Algorithm 2."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    bit_clear,
+    bit_set,
+    bit_test,
+    bitmap_from_ids,
+    find_nth_set_bit,
+    ids_from_bitmap,
+    popcount64,
+)
+
+word = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount64(0) == 0
+
+    def test_all_ones(self):
+        assert popcount64((1 << 64) - 1) == 64
+
+    def test_single_bits(self):
+        for i in range(64):
+            assert popcount64(1 << i) == 1
+
+    def test_example_from_paper(self):
+        # {1, 1, 0, 0, 1} -> bitmap 11001 -> 3 workers selected.
+        assert popcount64(0b11001) == 3
+
+    @given(word)
+    def test_matches_reference(self, value):
+        assert popcount64(value) == bin(value).count("1")
+
+    @given(word)
+    def test_truncates_to_64_bits(self, value):
+        assert popcount64(value | (1 << 100)) == popcount64(value)
+
+
+class TestFindNthSetBit:
+    def test_first_bit(self):
+        assert find_nth_set_bit(0b1, 0) == 0
+        assert find_nth_set_bit(0b1000, 0) == 3
+
+    def test_ranks_in_order(self):
+        # 11001: set bits at 0, 3, 4.
+        assert find_nth_set_bit(0b11001, 0) == 0
+        assert find_nth_set_bit(0b11001, 1) == 3
+        assert find_nth_set_bit(0b11001, 2) == 4
+
+    def test_high_bits(self):
+        value = (1 << 63) | (1 << 32) | 1
+        assert find_nth_set_bit(value, 0) == 0
+        assert find_nth_set_bit(value, 1) == 32
+        assert find_nth_set_bit(value, 2) == 63
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            find_nth_set_bit(0b101, 2)
+        with pytest.raises(ValueError):
+            find_nth_set_bit(0, 0)
+
+    def test_negative_rank(self):
+        with pytest.raises(ValueError):
+            find_nth_set_bit(0b1, -1)
+
+    @given(word.filter(lambda v: v != 0))
+    def test_matches_reference(self, value):
+        positions = [i for i in range(64) if value & (1 << i)]
+        for rank, expected in enumerate(positions):
+            assert find_nth_set_bit(value, rank) == expected
+
+    @given(word.filter(lambda v: v != 0),
+           st.integers(min_value=0, max_value=63))
+    def test_result_is_always_a_set_bit(self, value, rank):
+        n = popcount64(value)
+        if rank < n:
+            pos = find_nth_set_bit(value, rank)
+            assert value & (1 << pos)
+
+
+class TestBitmapCodec:
+    def test_roundtrip(self):
+        ids = [0, 3, 17, 63]
+        assert ids_from_bitmap(bitmap_from_ids(ids)) == ids
+
+    def test_empty(self):
+        assert bitmap_from_ids([]) == 0
+        assert ids_from_bitmap(0) == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bitmap_from_ids([64])
+        with pytest.raises(ValueError):
+            bitmap_from_ids([-1])
+
+    def test_negative_bitmap_rejected(self):
+        with pytest.raises(ValueError):
+            ids_from_bitmap(-1)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_roundtrip_property(self, ids):
+        assert ids_from_bitmap(bitmap_from_ids(ids)) == sorted(ids)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_popcount_matches_cardinality(self, ids):
+        assert popcount64(bitmap_from_ids(ids)) == len(ids)
+
+
+class TestBitOps:
+    def test_set_test_clear(self):
+        bm = 0
+        bm = bit_set(bm, 5)
+        assert bit_test(bm, 5)
+        bm = bit_clear(bm, 5)
+        assert not bit_test(bm, 5)
+
+    @given(word, st.integers(min_value=0, max_value=63))
+    def test_set_then_clear_is_noop_when_unset(self, value, index):
+        without = bit_clear(value, index)
+        assert bit_clear(bit_set(without, index), index) == without

@@ -1,0 +1,109 @@
+"""Tests for the runtime control plane."""
+
+import pytest
+
+from repro.core import ControlError, SchedulerControl
+from repro.kernel import Connection, FourTuple
+from repro.lb import LBServer, NotificationMode
+from repro.sim import Environment
+
+
+def setup(n_workers=4):
+    env = Environment()
+    server = LBServer(env, n_workers=n_workers, ports=[443],
+                      mode=NotificationMode.HERMES)
+    server.start()
+    env.run(until=0.05)
+    return env, server, SchedulerControl(server)
+
+
+class TestPolicyUpdates:
+    def test_set_theta_applies_to_all_groups(self):
+        env, server, control = setup()
+        control.set_theta_ratio(1.5)
+        for group in server.groups:
+            assert group.scheduler.config.theta_ratio == 1.5
+
+    def test_set_hang_threshold(self):
+        env, server, control = setup()
+        control.set_hang_threshold(0.123)
+        assert server.groups[0].scheduler.config.hang_threshold == 0.123
+
+    def test_set_filter_order(self):
+        env, server, control = setup()
+        control.set_filter_order(("event", "time"))
+        assert server.groups[0].scheduler.config.filter_order == \
+            ("event", "time")
+
+    def test_set_min_workers(self):
+        env, server, control = setup()
+        control.set_min_workers(3)
+        assert server.groups[0].program.min_workers == 3
+
+    def test_updates_take_effect_in_running_loop(self):
+        env, server, control = setup()
+        control.set_filter_order(())  # disable all filtering
+        env.run(until=0.2)
+        # With no filters, every worker passes every run.
+        ratios = server.groups[0].scheduler.pass_ratios.values[-5:]
+        assert all(r == 1.0 for r in ratios)
+
+    def test_invalid_updates_rejected(self):
+        env, server, control = setup()
+        with pytest.raises(ControlError):
+            control.set_theta_ratio(-1)
+        with pytest.raises(ControlError):
+            control.set_hang_threshold(0)
+        with pytest.raises(ControlError):
+            control.set_filter_order(("bogus",))
+        with pytest.raises(ControlError):
+            control.set_min_workers(0)
+
+
+class TestFallbackSwitch:
+    def test_force_fallback_detaches_program(self):
+        env, server, control = setup()
+        control.force_reuseport_fallback(True)
+        assert control.fallback_forced
+        group = server.stack.group_for(443)
+        assert group.program is None
+        # Connections still dispatch — by hash.
+        conn = Connection(FourTuple(1, 2, 3, 443), created_time=env.now)
+        assert server.connect(conn)
+        assert group.selected_by_hash >= 1
+
+    def test_reattach(self):
+        env, server, control = setup()
+        control.force_reuseport_fallback(True)
+        control.force_reuseport_fallback(False)
+        assert not control.fallback_forced
+        assert server.stack.group_for(443).program \
+            is server.dispatch_program
+
+
+class TestObservability:
+    def test_status_snapshot(self):
+        env, server, control = setup()
+        env.run(until=0.2)
+        status = control.status()
+        assert status["mode"] == "hermes"
+        assert status["n_workers"] == 4
+        assert status["alive_workers"] == 4
+        group = status["groups"][0]
+        assert group["scheduler_calls"] > 0
+        assert group["theta_ratio"] == 0.5
+
+    def test_audit_log(self):
+        env, server, control = setup()
+        control.set_theta_ratio(0.7)
+        control.force_reuseport_fallback(True)
+        assert len(control.audit_log) == 2
+        assert control.audit_log[0].operation == "set_theta_ratio"
+        assert control.audit_log[0].arguments == {"ratio": 0.7}
+
+    def test_requires_hermes_mode(self):
+        env = Environment()
+        server = LBServer(env, n_workers=2, ports=[443],
+                          mode=NotificationMode.REUSEPORT)
+        with pytest.raises(ControlError):
+            SchedulerControl(server)

@@ -1,0 +1,104 @@
+"""Tests for proactive service degradation (Appendix C case 1)."""
+
+import pytest
+
+from repro.core import ServiceDegrader
+from repro.kernel import Connection, FourTuple
+from repro.lb import LBServer, NotificationMode
+from repro.sim import Environment
+
+
+def setup(n_workers=2):
+    env = Environment()
+    server = LBServer(env, n_workers=n_workers, ports=[443],
+                      mode=NotificationMode.REUSEPORT)
+    server.start()
+    return env, server
+
+
+def connect(server, env, i=0):
+    conn = Connection(FourTuple(0x0A000001 + i, 40000 + i, 0xC0A80001, 443),
+                      created_time=env.now)
+    server.connect(conn)
+    return conn
+
+
+class TestDegradation:
+    def test_sustained_overload_triggers_rst(self):
+        env, server = setup()
+        conns = [connect(server, env, i) for i in range(10)]
+        env.run(until=0.2)
+        victim_worker = max(server.workers, key=lambda w: len(w.conns))
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=2,
+                                   rst_fraction=0.5)
+        degrader.start()
+        server.hang_worker(victim_worker.worker_id, duration=2.0)
+        env.run(until=1.5)
+        assert degrader.degradations >= 1
+        assert degrader.connections_reset >= 1
+        reset = [c for c in conns if c.state.value == "reset"]
+        assert all(c.worker is victim_worker for c in reset)
+
+    def test_healthy_workers_untouched(self):
+        env, server = setup()
+        for i in range(10):
+            connect(server, env, i)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=2)
+        degrader.start()
+        env.run(until=1.0)
+        assert degrader.degradations == 0
+        assert degrader.connections_reset == 0
+
+    def test_brief_spike_does_not_trigger(self):
+        """sustain_checks requires the overload to persist."""
+        env, server = setup()
+        connect(server, env)
+        degrader = ServiceDegrader(env, server, check_interval=0.1,
+                                   cpu_threshold=0.9, sustain_checks=3)
+        degrader.start()
+        env.schedule_callback(0.2, lambda: server.hang_worker(0, 0.15))
+        env.run(until=1.0)
+        assert degrader.degradations == 0
+
+    def test_cooldown_limits_rate(self):
+        env, server = setup(n_workers=1)
+        for i in range(10):
+            connect(server, env, i)
+        env.run(until=0.1)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=1,
+                                   rst_fraction=0.1, cooldown=10.0)
+        degrader.start()
+        server.hang_worker(0, duration=3.0)
+        env.run(until=2.0)
+        assert degrader.degradations == 1  # cooldown blocked repeats
+
+    def test_rst_fraction_bounds_victims(self):
+        env, server = setup(n_workers=1)
+        for i in range(10):
+            connect(server, env, i)
+        env.run(until=0.1)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=1,
+                                   rst_fraction=0.3)
+        degrader.start()
+        server.hang_worker(0, duration=2.0)
+        env.run(until=0.5)
+        assert degrader.connections_reset == 3  # ceil(10 * 0.3)
+
+    def test_validation(self):
+        env, server = setup()
+        with pytest.raises(ValueError):
+            ServiceDegrader(env, server, rst_fraction=0.0)
+        with pytest.raises(ValueError):
+            ServiceDegrader(env, server, sustain_checks=0)
+
+    def test_stop(self):
+        env, server = setup()
+        degrader = ServiceDegrader(env, server)
+        degrader.start()
+        env.run(until=0.3)
+        degrader.stop()
+        env.run(until=1.0)  # no crash, no further checks

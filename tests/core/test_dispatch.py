@@ -1,0 +1,100 @@
+"""Tests for the kernel-side dispatch program (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BpfArrayMap,
+    HermesDispatchProgram,
+    ReuseportSockArray,
+    bitmap_from_ids,
+)
+from repro.kernel import FourTuple
+from repro.kernel.reuseport import ReuseportContext
+
+
+def make_program(n_workers=4, min_workers=2, identity_sockets=True):
+    sel_map = BpfArrayMap(1)
+    sock_map = ReuseportSockArray(n_workers)
+    if identity_sockets:
+        for w in range(n_workers):
+            sock_map.install(w, w)
+    return HermesDispatchProgram(sel_map, sock_map,
+                                 min_workers=min_workers), sel_map, sock_map
+
+
+def ctx(flow_hash, i=0):
+    return ReuseportContext(
+        flow_hash, FourTuple(0x0A000001 + i, 40000, 0xC0A80001, 443), 4)
+
+
+class TestDispatch:
+    def test_selects_within_bitmap(self):
+        prog, sel_map, _ = make_program(4)
+        sel_map.update_from_user(0, bitmap_from_ids([1, 3]))
+        for h in range(0, 2 ** 32, 2 ** 28):
+            result = prog.run(ctx(h))
+            assert result in (1, 3)
+
+    def test_spreads_by_hash(self):
+        prog, sel_map, _ = make_program(8)
+        sel_map.update_from_user(0, bitmap_from_ids(range(8)))
+        from repro.kernel import jhash_4tuple
+        picks = {prog.run(ctx(jhash_4tuple(
+            FourTuple(i, i * 3, 99, 443)))) for i in range(300)}
+        assert picks == set(range(8))
+
+    def test_too_few_workers_falls_back(self):
+        prog, sel_map, _ = make_program(4, min_workers=2)
+        sel_map.update_from_user(0, bitmap_from_ids([2]))  # only one
+        assert prog.run(ctx(123)) is None
+        assert prog.fallbacks_too_few == 1
+
+    def test_empty_bitmap_falls_back(self):
+        prog, _, _ = make_program(4)
+        assert prog.run(ctx(0)) is None
+        assert prog.fallbacks_too_few == 1
+
+    def test_min_workers_one_allows_single(self):
+        prog, sel_map, _ = make_program(4, min_workers=1)
+        sel_map.update_from_user(0, bitmap_from_ids([2]))
+        assert prog.run(ctx(0xFFFF)) == 2
+
+    def test_missing_socket_falls_back(self):
+        prog, sel_map, sock_map = make_program(4, identity_sockets=False)
+        sel_map.update_from_user(0, bitmap_from_ids([0, 1]))
+        assert prog.run(ctx(5)) is None
+        assert prog.fallbacks_no_socket == 1
+
+    def test_dead_worker_socket_removed(self):
+        prog, sel_map, sock_map = make_program(2, min_workers=1)
+        sel_map.update_from_user(0, bitmap_from_ids([0]))
+        sock_map.remove(0)
+        assert prog.run(ctx(9)) is None
+
+    def test_stats(self):
+        prog, sel_map, _ = make_program(4)
+        sel_map.update_from_user(0, bitmap_from_ids([0, 1]))
+        prog.run(ctx(1))
+        prog.run(ctx(2))
+        assert prog.invocations == 2
+        assert prog.dispatched == 2
+        assert prog.fallbacks == 0
+
+    def test_invalid_min_workers(self):
+        sel_map, sock_map = BpfArrayMap(1), ReuseportSockArray(1)
+        with pytest.raises(ValueError):
+            HermesDispatchProgram(sel_map, sock_map, min_workers=0)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=2),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_property_always_picks_selected_worker(self, ids, flow_hash):
+        """Whatever the bitmap and hash, the pick is a coarse-filtered
+        worker — the fine filter never escapes the coarse set."""
+        sel_map = BpfArrayMap(1)
+        sock_map = ReuseportSockArray(64)
+        for w in range(64):
+            sock_map.install(w, w)
+        prog = HermesDispatchProgram(sel_map, sock_map, min_workers=2)
+        sel_map.update_from_user(0, bitmap_from_ids(ids))
+        assert prog.run(ctx(flow_hash)) in ids

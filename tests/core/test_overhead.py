@@ -1,0 +1,107 @@
+"""Tests for overhead accounting (Table 5 model)."""
+
+import pytest
+
+from repro.core import (
+    BpfArrayMap,
+    CascadingScheduler,
+    HermesDispatchProgram,
+    OverheadCosts,
+    ReuseportSockArray,
+    WorkerStatusTable,
+    bitmap_from_ids,
+    compute_overhead,
+)
+
+
+def components(n_workers=4):
+    wst = WorkerStatusTable(n_workers, lambda: 0.0)
+    sel_map = BpfArrayMap(1)
+    sock_map = ReuseportSockArray(n_workers)
+    for w in range(n_workers):
+        sock_map.install(w, w)
+    scheduler = CascadingScheduler(wst, sel_map)
+    program = HermesDispatchProgram(sel_map, sock_map)
+    return wst, sel_map, scheduler, program
+
+
+class TestComputeOverhead:
+    def test_zero_activity_zero_overhead(self):
+        wst, sel_map, scheduler, program = components()
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], elapsed=1.0, n_cores=4,
+                                    costs=OverheadCosts())
+        assert overhead.total == 0.0
+
+    def test_counter_component(self):
+        wst, sel_map, scheduler, program = components()
+        costs = OverheadCosts(counter_update=1e-6)
+        for _ in range(1000):
+            wst.add_events(0, 1)
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], elapsed=1.0, n_cores=1,
+                                    costs=costs)
+        assert overhead.counter == pytest.approx(1e-3)
+
+    def test_syscall_component(self):
+        wst, sel_map, scheduler, program = components()
+        costs = OverheadCosts(map_update_syscall=2e-6)
+        for _ in range(100):
+            scheduler.schedule_and_sync()
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], elapsed=1.0, n_cores=1,
+                                    costs=costs)
+        assert overhead.syscall == pytest.approx(100 * 2e-6)
+
+    def test_dispatcher_component(self):
+        from repro.kernel import FourTuple
+        from repro.kernel.reuseport import ReuseportContext
+        wst, sel_map, scheduler, program = components()
+        sel_map.update_from_user(0, bitmap_from_ids([0, 1]))
+        costs = OverheadCosts(ebpf_dispatch=1e-6)
+        for i in range(500):
+            program.run(ReuseportContext(i * 7919, FourTuple(i, 1, 2, 3), 4))
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], elapsed=1.0, n_cores=1,
+                                    costs=costs)
+        assert overhead.dispatcher == pytest.approx(5e-4)
+
+    def test_budget_normalization(self):
+        """More cores or more time dilute the same op counts."""
+        wst, sel_map, scheduler, program = components()
+        for _ in range(100):
+            wst.add_conns(0, 1)
+        costs = OverheadCosts()
+        one_core = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], 1.0, 1, costs)
+        four_cores = compute_overhead([wst], [scheduler], [sel_map],
+                                      [program], 1.0, 4, costs)
+        assert one_core.counter == pytest.approx(4 * four_cores.counter)
+
+    def test_percentages(self):
+        wst, sel_map, scheduler, program = components()
+        scheduler.schedule_and_sync()
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], 1.0, 1, OverheadCosts())
+        pct = overhead.as_percentages()
+        assert pct["total"] == pytest.approx(overhead.total * 100)
+        assert pct["scheduler"] > 0
+
+    def test_userspace_vs_kernel_split(self):
+        wst, sel_map, scheduler, program = components()
+        scheduler.schedule_and_sync()
+        overhead = compute_overhead([wst], [scheduler], [sel_map],
+                                    [program], 1.0, 1, OverheadCosts())
+        assert overhead.userspace == pytest.approx(
+            overhead.counter + overhead.scheduler + overhead.syscall)
+        assert overhead.total == pytest.approx(
+            overhead.userspace + overhead.dispatcher)
+
+    def test_invalid_window(self):
+        wst, sel_map, scheduler, program = components()
+        with pytest.raises(ValueError):
+            compute_overhead([wst], [scheduler], [sel_map], [program],
+                             0.0, 1, OverheadCosts())
+        with pytest.raises(ValueError):
+            compute_overhead([wst], [scheduler], [sel_map], [program],
+                             1.0, 0, OverheadCosts())

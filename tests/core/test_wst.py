@@ -1,0 +1,132 @@
+"""Tests for the Worker Status Table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import WorkerStatusTable
+from repro.sim import RngRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestUpdates:
+    def test_initial_state(self):
+        clock = FakeClock()
+        wst = WorkerStatusTable(3, clock)
+        snap = wst.read_all()
+        assert snap.times == (0.0, 0.0, 0.0)
+        assert snap.events == (0, 0, 0)
+        assert snap.conns == (0, 0, 0)
+
+    def test_touch_timestamp(self):
+        clock = FakeClock()
+        wst = WorkerStatusTable(2, clock)
+        clock.now = 5.0
+        wst.touch_timestamp(1)
+        assert wst.times == (0.0, 5.0)
+
+    def test_event_counter(self):
+        wst = WorkerStatusTable(1, FakeClock())
+        wst.add_events(0, 10)
+        wst.add_events(0, -3)
+        assert wst.events == (7,)
+
+    def test_conn_counter(self):
+        wst = WorkerStatusTable(1, FakeClock())
+        wst.add_conns(0, 1)
+        wst.add_conns(0, 1)
+        wst.add_conns(0, -1)
+        assert wst.conns == (1,)
+
+    def test_counters_never_negative(self):
+        wst = WorkerStatusTable(1, FakeClock())
+        wst.add_events(0, -5)
+        assert wst.events == (0,)
+
+    def test_worker_isolation(self):
+        wst = WorkerStatusTable(3, FakeClock())
+        wst.add_conns(1, 4)
+        assert wst.conns == (0, 4, 0)
+
+    def test_bounds_checked(self):
+        wst = WorkerStatusTable(2, FakeClock())
+        with pytest.raises(IndexError):
+            wst.add_events(2, 1)
+        with pytest.raises(IndexError):
+            wst.touch_timestamp(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkerStatusTable(0, FakeClock())
+
+    def test_update_ops_counted(self):
+        wst = WorkerStatusTable(1, FakeClock())
+        wst.touch_timestamp(0)
+        wst.add_events(0, 1)
+        wst.add_conns(0, 1)
+        assert wst.update_ops == 3
+
+    def test_read_ops_counted(self):
+        wst = WorkerStatusTable(1, FakeClock())
+        wst.read_all()
+        wst.read_all()
+        assert wst.read_ops == 2
+
+    def test_read_worker(self):
+        clock = FakeClock()
+        wst = WorkerStatusTable(2, clock)
+        clock.now = 3.0
+        wst.touch_timestamp(0)
+        wst.add_events(0, 2)
+        wst.add_conns(0, 5)
+        assert wst.read_worker(0) == (3.0, 2, 5)
+
+
+class TestAtomicity:
+    def test_atomic_mode_never_serves_torn_values(self):
+        rng = RngRegistry(1).stream("torn")
+        wst = WorkerStatusTable(1, FakeClock(), atomic=True,
+                                torn_read_prob=1.0, rng=rng)
+        wst.add_conns(0, 100)
+        for _ in range(50):
+            assert wst.read_all().conns == (100,)
+        assert wst.torn_reads_served == 0
+
+    def test_torn_mode_can_serve_mixed_halves(self):
+        rng = RngRegistry(1).stream("torn")
+        wst = WorkerStatusTable(1, FakeClock(), atomic=False,
+                                torn_read_prob=1.0, rng=rng)
+        old = 0x00000001_00000002
+        new = 0x00000003_00000004
+        wst.add_conns(0, old)
+        wst.add_conns(0, new - old)
+        seen = {wst.read_all().conns[0] for _ in range(100)}
+        torn_candidates = {
+            (old & ~0xFFFFFFFF) | (new & 0xFFFFFFFF),
+            (new & ~0xFFFFFFFF) | (old & 0xFFFFFFFF),
+        }
+        assert seen & torn_candidates
+        assert wst.torn_reads_served > 0
+
+    def test_torn_mode_requires_rng(self):
+        with pytest.raises(ValueError):
+            WorkerStatusTable(1, FakeClock(), atomic=False,
+                              torn_read_prob=0.5)
+
+    @given(st.lists(st.integers(min_value=-5, max_value=10),
+                    min_size=1, max_size=30))
+    def test_atomic_reads_always_match_writes(self, deltas):
+        """Property: in atomic mode a read reflects exactly the sum of
+        prior deltas (floored at zero step-wise)."""
+        wst = WorkerStatusTable(1, FakeClock())
+        expected = 0
+        for d in deltas:
+            wst.add_events(0, d)
+            expected = max(0, expected + d)
+        assert wst.read_all().events[0] == expected

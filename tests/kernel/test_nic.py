@@ -1,0 +1,69 @@
+"""Tests for the NIC RSS model."""
+
+import pytest
+
+from repro.kernel import FourTuple, Nic
+
+
+def ft(i=0):
+    return FourTuple(0x0A000001 + i * 11, 40000 + i * 3, 0xC0A80001, 443)
+
+
+class TestRss:
+    def test_flow_affinity(self):
+        """All packets of one flow land on one queue."""
+        nic = Nic(n_queues=4)
+        flow = ft(9)
+        queues = {nic.receive(flow) for _ in range(20)}
+        assert len(queues) == 1
+        assert nic.queue_packets[queues.pop()] == 20
+
+    def test_flows_spread_over_queues(self):
+        nic = Nic(n_queues=4)
+        for i in range(400):
+            nic.receive(ft(i))
+        assert all(c > 50 for c in nic.queue_packets)
+
+    def test_bytes_accounted(self):
+        nic = Nic(n_queues=2)
+        queue = nic.receive(ft(), packets=3, size_bytes=1500)
+        assert nic.queue_packets[queue] == 3
+        assert nic.queue_bytes[queue] == 1500
+
+    def test_hash_seed_changes_mapping(self):
+        a, b = Nic(4, hash_seed=1), Nic(4, hash_seed=2)
+        mapping_a = [a.rss_queue(ft(i)) for i in range(50)]
+        mapping_b = [b.rss_queue(ft(i)) for i in range(50)]
+        assert mapping_a != mapping_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nic(0)
+
+
+class TestIndirectionTable:
+    def test_default_round_robin_table(self):
+        nic = Nic(n_queues=4, table_size=8)
+        assert nic.indirection == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_reprogramming_moves_flows(self):
+        """The RSS++ rebalancing knob: repoint a bucket, its flows move."""
+        nic = Nic(n_queues=4)
+        flow = ft(3)
+        original = nic.rss_queue(flow)
+        from repro.kernel import jhash_4tuple
+        bucket = jhash_4tuple(flow, nic.hash_seed) % len(nic.indirection)
+        target = (original + 1) % 4
+        nic.set_indirection(bucket, target)
+        assert nic.rss_queue(flow) == target
+
+    def test_invalid_queue_rejected(self):
+        nic = Nic(n_queues=2)
+        with pytest.raises(ValueError):
+            nic.set_indirection(0, 5)
+
+    def test_reset_counters(self):
+        nic = Nic(n_queues=2)
+        nic.receive(ft())
+        nic.reset_counters()
+        assert sum(nic.queue_packets) == 0

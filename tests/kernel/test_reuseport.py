@@ -1,0 +1,144 @@
+"""Tests for reuseport groups and the eBPF selection hook."""
+
+import pytest
+
+from repro.kernel import FourTuple, ListeningSocket, ReuseportGroup
+from repro.kernel.reuseport import ReuseportContext
+
+
+def ft(i=0):
+    return FourTuple(0x0A000001 + i, 40000 + (i * 7) % 20000, 0xC0A80001, 443)
+
+
+def group_with(n, port=443, seed=0):
+    g = ReuseportGroup(port, hash_seed=seed)
+    socks = [ListeningSocket(port, owner=f"w{i}") for i in range(n)]
+    for s in socks:
+        g.add(s)
+    return g, socks
+
+
+class TestGroupMembership:
+    def test_add_returns_index(self):
+        g, _ = group_with(0)
+        s = ListeningSocket(443)
+        assert g.add(s) == 0
+        s2 = ListeningSocket(443)
+        assert g.add(s2) == 1
+
+    def test_port_mismatch_rejected(self):
+        g = ReuseportGroup(443)
+        with pytest.raises(ValueError):
+            g.add(ListeningSocket(8080))
+
+    def test_double_add_rejected(self):
+        g = ReuseportGroup(443)
+        s = ListeningSocket(443)
+        g.add(s)
+        with pytest.raises(ValueError):
+            g.add(s)
+
+    def test_remove(self):
+        g, socks = group_with(2)
+        g.remove(socks[0])
+        assert len(g) == 1
+
+
+class TestHashSelection:
+    def test_deterministic_per_flow(self):
+        g, _ = group_with(4)
+        flow = ft(7)
+        assert g.select(flow) is g.select(flow)
+
+    def test_spreads_across_sockets(self):
+        g, socks = group_with(4)
+        counts = {s.id: 0 for s in socks}
+        for i in range(2000):
+            counts[g.select(ft(i)).id] += 1
+        for c in counts.values():
+            assert c > 2000 / 4 * 0.7
+
+    def test_empty_group_returns_none(self):
+        g, _ = group_with(0)
+        assert g.select(ft()) is None
+
+    def test_closed_sockets_excluded(self):
+        g, socks = group_with(3)
+        socks[0].closed = True
+        for i in range(200):
+            assert g.select(ft(i)) is not socks[0]
+
+    def test_hash_seed_changes_mapping(self):
+        g1, socks1 = group_with(8, seed=1)
+        g2, socks2 = group_with(8, seed=2)
+        picks1 = [g1.sockets.index(g1.select(ft(i))) for i in range(100)]
+        picks2 = [g2.sockets.index(g2.select(ft(i))) for i in range(100)]
+        assert picks1 != picks2
+
+
+class TestProgramHook:
+    class FixedSelector:
+        """Always picks a fixed socket index."""
+
+        def __init__(self, index):
+            self.index = index
+            self.calls = 0
+
+        def run(self, ctx):
+            self.calls += 1
+            assert isinstance(ctx, ReuseportContext)
+            return self.index
+
+    class DecliningSelector:
+        def run(self, ctx):
+            return None
+
+    def test_program_overrides_hash(self):
+        g, socks = group_with(4)
+        g.attach_program(self.FixedSelector(2))
+        for i in range(50):
+            assert g.select(ft(i)) is socks[2]
+        assert g.selected_by_program == 50
+        assert g.selected_by_hash == 0
+
+    def test_decline_falls_back_to_hash(self):
+        g, socks = group_with(4)
+        g.attach_program(self.DecliningSelector())
+        picked = {g.sockets.index(g.select(ft(i))) for i in range(200)}
+        assert len(picked) > 1
+        assert g.program_fallbacks == 200
+        assert g.selected_by_hash == 200
+
+    def test_invalid_index_falls_back(self):
+        g, socks = group_with(2)
+        g.attach_program(self.FixedSelector(99))
+        assert g.select(ft()) in socks
+        assert g.program_fallbacks == 1
+
+    def test_closed_pick_falls_back(self):
+        g, socks = group_with(2)
+        socks[1].closed = True
+        g.attach_program(self.FixedSelector(1))
+        assert g.select(ft()) is socks[0]
+
+    def test_detach_program(self):
+        g, socks = group_with(2)
+        g.attach_program(self.FixedSelector(0))
+        g.attach_program(None)
+        g.select(ft())
+        assert g.selected_by_hash == 1
+
+    def test_context_carries_hash_and_numsocks(self):
+        g, socks = group_with(3)
+        seen = {}
+
+        class Spy:
+            def run(self, ctx):
+                seen["hash"] = ctx.hash
+                seen["num"] = ctx.num_socks
+                return 0
+
+        g.attach_program(Spy())
+        g.select(ft(5))
+        assert seen["num"] == 3
+        assert seen["hash"] == g.flow_hash(ft(5))

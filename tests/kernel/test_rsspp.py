@@ -1,0 +1,85 @@
+"""Tests for RSS++-style NIC rebalancing (§3's L4-level comparison)."""
+
+import pytest
+
+from repro.kernel import FourTuple, Nic, RssPlusPlusBalancer
+
+
+def ft(i=0):
+    return FourTuple(0x0A000001 + i * 101, 40000 + i * 7, 0xC0A80001, 443)
+
+
+def skewed_traffic(nic, balancer, heavy_flows=2, light_flows=60,
+                   heavy_packets=300, light_packets=5):
+    """A few elephants and many mice."""
+    for i in range(heavy_flows):
+        nic.receive(ft(i), packets=heavy_packets)
+        balancer.observe(ft(i), packets=heavy_packets)
+    for i in range(heavy_flows, heavy_flows + light_flows):
+        nic.receive(ft(i), packets=light_packets)
+        balancer.observe(ft(i), packets=light_packets)
+
+
+class TestRebalance:
+    def test_moves_buckets_from_hot_to_cold(self):
+        nic = Nic(n_queues=4)
+        balancer = RssPlusPlusBalancer(nic)
+        skewed_traffic(nic, balancer)
+        before = list(nic.indirection)
+        moved = balancer.rebalance()
+        assert moved >= 1
+        assert nic.indirection != before
+        assert balancer.rebalances == 1
+        assert balancer.buckets_moved == moved
+
+    def test_repeated_rounds_reduce_packet_imbalance(self):
+        nic = Nic(n_queues=4)
+        balancer = RssPlusPlusBalancer(nic, buckets_per_round=8)
+
+        def spread():
+            nic.reset_counters()
+            for i in range(2):
+                nic.receive(ft(i), packets=300)
+            for i in range(2, 62):
+                nic.receive(ft(i), packets=5)
+            counts = nic.queue_packets
+            return max(counts) - min(counts)
+
+        initial = spread()
+        for _ in range(6):
+            # Observe the same recurring traffic, then rebalance.
+            for i in range(2):
+                balancer.observe(ft(i), packets=300)
+            for i in range(2, 62):
+                balancer.observe(ft(i), packets=5)
+            balancer.rebalance()
+        final = spread()
+        assert final < initial
+
+    def test_uniform_load_is_a_noop(self):
+        nic = Nic(n_queues=2, table_size=4)
+        balancer = RssPlusPlusBalancer(nic)
+        # Perfectly equal bucket loads.
+        balancer._bucket_packets = [10, 10, 10, 10]
+        assert balancer.rebalance() == 0
+
+    def test_counters_reset_after_round(self):
+        nic = Nic(n_queues=2)
+        balancer = RssPlusPlusBalancer(nic)
+        balancer.observe(ft(1), packets=50)
+        balancer.rebalance()
+        assert sum(balancer._bucket_packets) == 0
+
+    def test_never_empties_hot_queue(self):
+        nic = Nic(n_queues=2, table_size=4)
+        balancer = RssPlusPlusBalancer(nic, buckets_per_round=10)
+        # Everything on queue 0.
+        for bucket in range(4):
+            nic.set_indirection(bucket, 0)
+        balancer._bucket_packets = [5, 5, 5, 5]
+        balancer.rebalance()
+        assert 0 in nic.indirection  # queue 0 kept at least one bucket
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RssPlusPlusBalancer(Nic(2), buckets_per_round=0)

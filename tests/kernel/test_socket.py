@@ -1,0 +1,110 @@
+"""Tests for listening sockets, accept queues, and connection fds."""
+
+from repro.kernel import ConnState, Connection, FourTuple, ListeningSocket
+from repro.kernel.socket import EPOLLERR, EPOLLHUP, EPOLLIN
+
+
+def make_conn(i=0, port=8001):
+    return Connection(FourTuple(0x0A000001 + i, 40000, 0xC0A80001, port))
+
+
+class TestAcceptQueue:
+    def test_enqueue_then_accept_fifo(self):
+        sock = ListeningSocket(8001)
+        c1, c2 = make_conn(1), make_conn(2)
+        assert sock.enqueue(c1)
+        assert sock.enqueue(c2)
+        assert sock.accept() is c1
+        assert sock.accept() is c2
+        assert sock.accept() is None
+
+    def test_backlog_overflow_drops(self):
+        sock = ListeningSocket(8001, backlog=2)
+        assert sock.enqueue(make_conn(1))
+        assert sock.enqueue(make_conn(2))
+        assert not sock.enqueue(make_conn(3))
+        assert sock.total_dropped == 1
+        assert sock.queue_depth == 2
+
+    def test_poll_reflects_queue(self):
+        sock = ListeningSocket(8001)
+        assert sock.poll() == 0
+        sock.enqueue(make_conn())
+        assert sock.poll() & EPOLLIN
+        sock.accept()
+        assert sock.poll() == 0
+
+    def test_enqueue_wakes_waitqueue(self):
+        sock = ListeningSocket(8001)
+        woken = []
+        from repro.kernel import WaitEntry
+        sock.wait_queue.add(WaitEntry(lambda e, k: woken.append(k) or True))
+        sock.enqueue(make_conn())
+        assert woken == [EPOLLIN]
+
+    def test_close_resets_pending(self):
+        sock = ListeningSocket(8001)
+        conn = make_conn()
+        sock.enqueue(conn)
+        sock.close()
+        assert conn.state == ConnState.RESET
+        assert sock.poll() == (EPOLLERR | EPOLLHUP)
+        assert not sock.enqueue(make_conn(5))
+
+    def test_accept_counts(self):
+        sock = ListeningSocket(8001)
+        sock.enqueue(make_conn())
+        sock.accept()
+        assert sock.total_enqueued == 1
+        assert sock.total_accepted == 1
+
+
+class TestConnSocket:
+    def test_accept_creates_fd_with_pending_data(self):
+        conn = make_conn()
+        conn.deliver_request(_request(), now=0.0)
+        fd = conn.mark_accepted(worker="w1", now=1.0)
+        assert fd.poll() & EPOLLIN
+        assert fd.pending_events == 1
+
+    def test_readable_consumed(self):
+        conn = make_conn()
+        fd = conn.mark_accepted(worker="w1", now=0.0)
+        fd.push_readable(2)
+        fd.consume_readable()
+        assert fd.pending_events == 1
+        fd.consume_readable()
+        assert fd.poll() == 0
+
+    def test_hangup_sets_in_and_hup(self):
+        conn = make_conn()
+        fd = conn.mark_accepted(worker="w1", now=0.0)
+        conn.client_close()
+        assert fd.poll() & EPOLLHUP
+        assert fd.poll() & EPOLLIN
+
+    def test_fin_before_accept_is_visible_after(self):
+        conn = make_conn()
+        conn.client_close()
+        fd = conn.mark_accepted(worker="w1", now=0.0)
+        assert fd.poll() & EPOLLHUP
+
+    def test_error_mask(self):
+        conn = make_conn()
+        fd = conn.mark_accepted(worker="w1", now=0.0)
+        conn.reset("test rst")
+        assert fd.poll() & EPOLLERR
+        assert conn.state == ConnState.RESET
+
+    def test_closed_fd_inert(self):
+        conn = make_conn()
+        fd = conn.mark_accepted(worker="w1", now=0.0)
+        conn.mark_closed(now=1.0)
+        fd.push_readable()
+        assert fd.poll() == 0
+        assert conn.state == ConnState.CLOSED
+
+
+def _request():
+    from repro.kernel import Request
+    return Request(event_times=(0.001,))

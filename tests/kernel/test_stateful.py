@@ -1,0 +1,140 @@
+"""Model-based and stateful property tests for kernel semantics.
+
+These drive random operation sequences against the wait-queue and socket
+models while maintaining a simple reference model, verifying the
+invariants everything else in the repo leans on.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.kernel import ConnSocket, Connection, FourTuple, WaitEntry, WaitQueue
+
+
+class WaitQueueMachine(RuleBasedStateMachine):
+    """Random add/remove/wake sequences against a reference list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = WaitQueue()
+        #: Reference model: (name, exclusive, will_wake) head-first.
+        self.model = []
+        self.counter = 0
+        self.last_woken = None
+
+    def _make_entry(self, exclusive, success):
+        self.counter += 1
+        name = f"e{self.counter}"
+
+        def func(entry, key, _name=name):
+            self.wake_log.append(_name)
+            return self.success_by_name[_name]
+
+        entry = WaitEntry(func, exclusive=exclusive, owner=name)
+        return name, entry
+
+    wake_log: list
+    success_by_name: dict
+
+    @rule(exclusive=st.booleans(), success=st.booleans())
+    def add_head(self, exclusive, success):
+        if not hasattr(self, "wake_log"):
+            self.wake_log, self.success_by_name = [], {}
+        name, entry = self._make_entry(exclusive, success)
+        self.success_by_name[name] = success
+        self.queue.add(entry)
+        self.model.insert(0, (name, entry, exclusive))
+
+    @rule(exclusive=st.booleans(), success=st.booleans())
+    def add_tail(self, exclusive, success):
+        if not hasattr(self, "wake_log"):
+            self.wake_log, self.success_by_name = [], {}
+        name, entry = self._make_entry(exclusive, success)
+        self.success_by_name[name] = success
+        self.queue.add_tail(entry)
+        self.model.append((name, entry, exclusive))
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def remove(self, index):
+        name, entry, _excl = self.model.pop(index % len(self.model))
+        self.queue.remove(entry)
+
+    @rule(nr=st.integers(min_value=1, max_value=3))
+    def wake(self, nr):
+        if not hasattr(self, "wake_log"):
+            self.wake_log, self.success_by_name = [], {}
+        self.wake_log = []
+        woken = self.queue.wake(nr_exclusive=nr)
+        # Reference semantics: traverse head-first; successful exclusive
+        # wakeups consume the budget; stop at zero.
+        expected_called = []
+        expected_woken = []
+        remaining = nr
+        for name, entry, exclusive in self.model:
+            expected_called.append(name)
+            if self.success_by_name[name]:
+                expected_woken.append(name)
+                if exclusive:
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+        assert self.wake_log == expected_called
+        assert [e.owner for e in woken] == expected_woken
+
+    @invariant()
+    def queue_matches_model(self):
+        assert [e.owner for e in self.queue.entries] == \
+            [name for name, _e, _x in self.model]
+        assert len(self.queue) == len(self.model)
+
+
+TestWaitQueueStateful = WaitQueueMachine.TestCase
+TestWaitQueueStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None)
+
+
+class TestConnSocketModel:
+    """Model-based readability accounting for connection fds."""
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=1, max_value=5)),
+        st.tuples(st.just("consume"), st.integers(min_value=1, max_value=5)),
+        st.tuples(st.just("hangup"), st.just(0)),
+    ), max_size=40))
+    @settings(max_examples=120)
+    def test_pending_matches_model(self, operations):
+        conn = Connection(FourTuple(1, 2, 3, 4))
+        fd = conn.mark_accepted("w", 0.0)
+        pending = 0
+        hangup = False
+        for op, count in operations:
+            if op == "push":
+                fd.push_readable(count)
+                pending += count
+            elif op == "consume":
+                fd.consume_readable(count)
+                pending = max(0, pending - count)
+            else:
+                fd.push_hangup()
+                hangup = True
+            assert fd.pending_events == pending
+            readable = bool(fd.poll() & 0x001)
+            assert readable == (pending > 0 or hangup)
+
+    @given(st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    def test_close_clears_everything(self, pushes, consumes):
+        conn = Connection(FourTuple(1, 2, 3, 4))
+        fd = conn.mark_accepted("w", 0.0)
+        fd.push_readable(pushes)
+        fd.consume_readable(consumes)
+        fd.close()
+        assert fd.poll() == 0
+        fd.push_readable()  # inert after close
+        assert fd.pending_events == 0

@@ -1,0 +1,168 @@
+"""Tests for the network stack: binding, SYN dispatch, data delivery."""
+
+import pytest
+
+from repro.kernel import (
+    ConnState,
+    Connection,
+    FourTuple,
+    NetStack,
+    Nic,
+    Request,
+)
+from repro.sim import Environment
+
+
+def make_conn(i=0, port=443):
+    return Connection(FourTuple(0x0A000001 + i, 40000 + i, 0xC0A80001, port))
+
+
+class TestBinding:
+    def test_shared_bind(self):
+        stack = NetStack(Environment())
+        sock = stack.bind_shared(443)
+        assert sock.port == 443
+
+    def test_shared_double_bind_rejected(self):
+        stack = NetStack(Environment())
+        stack.bind_shared(443)
+        with pytest.raises(ValueError):
+            stack.bind_shared(443)
+
+    def test_reuseport_bind_creates_group(self):
+        stack = NetStack(Environment())
+        s1 = stack.bind_reuseport(443, owner="w0")
+        s2 = stack.bind_reuseport(443, owner="w1")
+        group = stack.group_for(443)
+        assert group.sockets == [s1, s2]
+
+    def test_mixing_shared_and_reuseport_rejected(self):
+        stack = NetStack(Environment())
+        stack.bind_shared(443)
+        with pytest.raises(ValueError):
+            stack.bind_reuseport(443, owner="w0")
+
+    def test_group_for_unbound_port(self):
+        stack = NetStack(Environment())
+        with pytest.raises(KeyError):
+            stack.group_for(443)
+
+
+class TestConnect:
+    def test_connect_to_shared_socket(self):
+        stack = NetStack(Environment())
+        sock = stack.bind_shared(443)
+        conn = make_conn()
+        assert stack.connect(conn)
+        assert conn.state == ConnState.ESTABLISHED
+        assert sock.accept() is conn
+
+    def test_connect_unbound_port_refused(self):
+        stack = NetStack(Environment())
+        conn = make_conn(port=9999)
+        assert not stack.connect(conn)
+        assert conn.state == ConnState.REFUSED
+        assert stack.total_refused == 1
+
+    def test_connect_reuseport_uses_hash(self):
+        stack = NetStack(Environment())
+        socks = [stack.bind_reuseport(443, owner=f"w{i}") for i in range(4)]
+        hit = set()
+        for i in range(300):
+            conn = make_conn(i)
+            stack.connect(conn)
+            hit.add(conn.listen_socket)
+        assert hit == set(socks)
+
+    def test_backlog_overflow_refused(self):
+        stack = NetStack(Environment())
+        stack.bind_shared(443, backlog=1)
+        assert stack.connect(make_conn(1))
+        conn = make_conn(2)
+        assert not stack.connect(conn)
+        assert conn.state == ConnState.REFUSED
+        assert conn.reset_reason == "accept queue overflow"
+
+    def test_handshake_delay(self):
+        env = Environment()
+        stack = NetStack(env, handshake_delay=0.001)
+        sock = stack.bind_shared(443)
+        conn = make_conn()
+        stack.connect(conn)
+        assert sock.queue_depth == 0  # not enqueued yet
+        env.run(until=0.002)
+        assert sock.queue_depth == 1
+
+    def test_nic_counts_syns(self):
+        nic = Nic(n_queues=4)
+        stack = NetStack(Environment(), nic=nic)
+        stack.bind_shared(443)
+        for i in range(10):
+            stack.connect(make_conn(i))
+        assert sum(nic.queue_packets) == 10
+
+
+class TestDataDelivery:
+    def test_deliver_tags_request(self):
+        env = Environment()
+        stack = NetStack(env)
+        stack.bind_shared(443)
+        conn = make_conn()
+        conn.tenant_id = 42
+        stack.connect(conn)
+        req = Request(event_times=(0.001, 0.002))
+        stack.deliver(conn, req)
+        assert req.tenant_id == 42
+        assert req.arrival_time == env.now
+        assert conn.inbox == [req]
+
+    def test_deliver_before_accept_readable_after(self):
+        stack = NetStack(Environment())
+        stack.bind_shared(443)
+        conn = make_conn()
+        stack.connect(conn)
+        stack.deliver(conn, Request())
+        fd = conn.mark_accepted(worker="w", now=0.0)
+        assert fd.pending_events == 1
+
+    def test_deliver_to_closed_rejected(self):
+        conn = make_conn()
+        conn.mark_closed(0.0)
+        with pytest.raises(ValueError):
+            conn.deliver_request(Request(), 0.0)
+
+
+class TestRequest:
+    def test_latency_none_until_complete(self):
+        req = Request(event_times=(0.001,))
+        assert req.latency is None
+        req.arrival_time = 1.0
+        req.completed_time = 1.5
+        assert req.latency == pytest.approx(0.5)
+
+    def test_total_service(self):
+        req = Request(event_times=(0.001, 0.002, 0.003))
+        assert req.total_service == pytest.approx(0.006)
+        assert req.n_events == 3
+
+    def test_done_tracks_next_event(self):
+        req = Request(event_times=(0.1, 0.1))
+        assert not req.done
+        req.next_event = 2
+        assert req.done
+
+
+class TestUnbind:
+    def test_unbind_reuseport_socket(self):
+        stack = NetStack(Environment())
+        s1 = stack.bind_reuseport(443, owner="w0")
+        s2 = stack.bind_reuseport(443, owner="w1")
+        stack.unbind_socket(s1)
+        assert stack.group_for(443).sockets == [s2]
+        assert s1.closed
+
+    def test_unbind_shared_socket(self):
+        stack = NetStack(Environment())
+        sock = stack.bind_shared(443)
+        stack.unbind_socket(sock)
+        assert 443 not in stack.bindings

@@ -1,0 +1,176 @@
+"""Tests for wait-queue wakeup semantics (the root of epoll's imbalance)."""
+
+import pytest
+
+from repro.kernel import WaitEntry, WaitQueue
+
+
+def make_entry(log, name, success=True, exclusive=False):
+    def func(entry, key):
+        log.append(name)
+        return success
+
+    return WaitEntry(func, exclusive=exclusive, owner=name)
+
+
+class TestRegistration:
+    def test_head_insertion_order(self):
+        q = WaitQueue()
+        a = make_entry([], "a")
+        b = make_entry([], "b")
+        c = make_entry([], "c")
+        q.add(a)
+        q.add(b)
+        q.add(c)
+        # Most recently added is at the head — LIFO traversal.
+        assert [e.owner for e in q.entries] == ["c", "b", "a"]
+
+    def test_tail_insertion(self):
+        q = WaitQueue()
+        a = make_entry([], "a")
+        b = make_entry([], "b")
+        q.add_tail(a)
+        q.add_tail(b)
+        assert [e.owner for e in q.entries] == ["a", "b"]
+
+    def test_double_add_rejected(self):
+        q = WaitQueue()
+        a = make_entry([], "a")
+        q.add(a)
+        with pytest.raises(ValueError):
+            q.add(a)
+
+    def test_remove(self):
+        q = WaitQueue()
+        a = make_entry([], "a")
+        q.add(a)
+        q.remove(a)
+        assert len(q) == 0
+        q.add(a)  # can re-add after removal
+        assert len(q) == 1
+
+
+class TestThunderingHerd:
+    def test_non_exclusive_wakes_everyone(self):
+        """Pre-4.5 epoll: every waiter is woken for one event."""
+        q = WaitQueue()
+        log = []
+        for name in "abc":
+            q.add(make_entry(log, name, exclusive=False))
+        woken = q.wake()
+        assert sorted(log) == ["a", "b", "c"]
+        assert len(woken) == 3
+
+
+class TestExclusive:
+    def test_stops_at_first_success(self):
+        q = WaitQueue()
+        log = []
+        q.add(make_entry(log, "a", exclusive=True))
+        q.add(make_entry(log, "b", exclusive=True))
+        q.add(make_entry(log, "c", exclusive=True))
+        woken = q.wake()
+        # Head first: "c" was most recently added and wakes; traversal stops.
+        assert log == ["c"]
+        assert [e.owner for e in woken] == ["c"]
+
+    def test_lifo_concentration(self):
+        """Repeated wakeups keep hitting the same (last-added) entry."""
+        q = WaitQueue()
+        log = []
+        for name in "abc":
+            q.add(make_entry(log, name, exclusive=True))
+        for _ in range(5):
+            q.wake()
+        assert log == ["c"] * 5
+
+    def test_busy_workers_are_skipped(self):
+        """Entries whose wake function fails don't consume the budget."""
+        q = WaitQueue()
+        log = []
+        q.add(make_entry(log, "a", success=True, exclusive=True))
+        q.add(make_entry(log, "b", success=False, exclusive=True))  # busy
+        q.add(make_entry(log, "c", success=False, exclusive=True))  # busy
+        woken = q.wake()
+        # c (head) and b are tried but busy; a finally wakes.
+        assert log == ["c", "b", "a"]
+        assert [e.owner for e in woken] == ["a"]
+
+    def test_nobody_idle_wakes_nothing(self):
+        q = WaitQueue()
+        log = []
+        for name in "ab":
+            q.add(make_entry(log, name, success=False, exclusive=True))
+        assert q.wake() == []
+        assert log == ["b", "a"]  # all tried
+
+    def test_nr_exclusive_budget(self):
+        q = WaitQueue()
+        log = []
+        for name in "abcd":
+            q.add(make_entry(log, name, exclusive=True))
+        woken = q.wake(nr_exclusive=2)
+        assert [e.owner for e in woken] == ["d", "c"]
+
+    def test_mixed_exclusive_and_shared(self):
+        """Shared entries don't consume the exclusive budget."""
+        q = WaitQueue()
+        log = []
+        q.add(make_entry(log, "excl", exclusive=True))
+        q.add(make_entry(log, "shared", exclusive=False))
+        # head order: shared, excl — shared wakes, traversal continues,
+        # excl wakes and stops.
+        woken = q.wake()
+        assert log == ["shared", "excl"]
+        assert len(woken) == 2
+
+
+class TestRoundRobin:
+    def test_rotation_spreads_wakeups(self):
+        """epoll-rr: woken entry moves to the tail, so wakeups rotate."""
+        q = WaitQueue(rotate_on_wake=True)
+        log = []
+        for name in "abc":
+            q.add(make_entry(log, name, exclusive=True))
+        for _ in range(6):
+            q.wake()
+        # Starting order is c,b,a (head-first); rotation cycles through all.
+        assert log == ["c", "b", "a", "c", "b", "a"]
+
+    def test_no_rotation_without_flag(self):
+        q = WaitQueue(rotate_on_wake=False)
+        log = []
+        for name in "ab":
+            q.add(make_entry(log, name, exclusive=True))
+        q.wake()
+        q.wake()
+        assert log == ["b", "b"]
+
+
+class TestCallbackMutation:
+    def test_entry_removed_during_wake_is_skipped(self):
+        """A callback may deregister another entry mid-traversal."""
+        q = WaitQueue()
+        log = []
+
+        removed_entry = make_entry(log, "victim", exclusive=True)
+
+        def removing_func(entry, key):
+            log.append("remover")
+            q.remove(removed_entry)
+            return False  # keep walking
+
+        remover = WaitEntry(removing_func, exclusive=True, owner="remover")
+        survivor = make_entry(log, "survivor", exclusive=True)
+        q.add(survivor)       # tail
+        q.add(removed_entry)  # middle
+        q.add(remover)        # head
+        woken = q.wake()
+        assert log == ["remover", "survivor"]
+        assert [e.owner for e in woken] == ["survivor"]
+
+    def test_wake_counter(self):
+        q = WaitQueue()
+        q.wake()
+        q.wake()
+        assert q.wake_calls == 2

@@ -1,0 +1,91 @@
+"""Tests for backend pools (§7 Experiences)."""
+
+import pytest
+
+from repro.lb import BackendPool
+from repro.sim import RngRegistry
+
+
+def rng():
+    return RngRegistry(3).stream("backend")
+
+
+class TestRoundRobin:
+    def test_cycles_through_servers(self):
+        pool = BackendPool(3, n_workers=1)
+        picks = [pool.next_server(0).server_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_per_worker_cursors_independent(self):
+        pool = BackendPool(3, n_workers=2)
+        pool.next_server(0)
+        pool.next_server(0)
+        assert pool.next_server(1).server_id == 0  # worker 1 starts fresh
+
+    def test_bad_worker_id(self):
+        pool = BackendPool(2, n_workers=1)
+        with pytest.raises(IndexError):
+            pool.next_server(5)
+
+
+class TestListUpdate:
+    def test_synchronized_restart_overloads_head(self):
+        """The §7 incident: all workers restart RR at index 0."""
+        pool = BackendPool(10, n_workers=16)
+        pool.update_server_list(10)
+        for worker in range(16):
+            for _ in range(3):  # few requests per worker (Hermes regime)
+                pool.next_server(worker)
+        counts = pool.request_counts()
+        # First 3 servers got everything: 16 each; the rest got none.
+        assert counts[:3] == [16, 16, 16]
+        assert sum(counts[3:]) == 0
+        assert pool.imbalance_ratio() > 3.0
+
+    def test_randomized_offsets_fix(self):
+        pool = BackendPool(10, n_workers=16)
+        pool.update_server_list(10, rng=rng(), randomize_offsets=True)
+        for worker in range(16):
+            for _ in range(3):
+                pool.next_server(worker)
+        assert pool.imbalance_ratio() < 2.5
+
+    def test_randomize_requires_rng(self):
+        pool = BackendPool(4, n_workers=2)
+        with pytest.raises(ValueError):
+            pool.update_server_list(4, randomize_offsets=True)
+
+    def test_update_counts(self):
+        pool = BackendPool(4, n_workers=2)
+        pool.update_server_list(6)
+        assert pool.list_updates == 1
+        assert len(pool.servers) == 6
+
+
+class TestConnectionReuse:
+    def test_first_request_pays_handshake(self):
+        pool = BackendPool(2, n_workers=2, handshake_cost=0.002)
+        assert pool.forward(0) == pytest.approx(0.002)
+        assert pool.forward(0) in (0.0, pytest.approx(0.002))
+
+    def test_per_worker_pools_fragment(self):
+        pool = BackendPool(4, n_workers=8, shared_pool=False)
+        for worker in range(8):
+            for _ in range(4):
+                pool.forward(worker)
+        # Every (worker, server) pair pays one handshake: 8*4 = 32.
+        assert pool.total_handshakes() == 32
+
+    def test_shared_pool_reuses_across_workers(self):
+        pool = BackendPool(4, n_workers=8, shared_pool=True)
+        for worker in range(8):
+            for _ in range(4):
+                pool.forward(worker)
+        # One handshake per server regardless of worker: 4.
+        assert pool.total_handshakes() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendPool(0, n_workers=1)
+        with pytest.raises(ValueError):
+            BackendPool(1, n_workers=0)

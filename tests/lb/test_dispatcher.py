@@ -1,0 +1,97 @@
+"""Tests for the userspace-dispatcher baseline and io_uring FIFO mode."""
+
+import pytest
+
+from repro.kernel import Connection, FourTuple
+from repro.lb import DispatcherWorker, LBServer, NotificationMode
+from repro.sim import Environment, RngRegistry
+from repro.workloads import FixedFactory, TrafficGenerator, WorkloadSpec
+
+
+def drive(mode, n_workers=4, conn_rate=300.0, duration=1.0,
+          service=0.0005):
+    env = Environment()
+    lb = LBServer(env, n_workers=n_workers, ports=[443], mode=mode)
+    lb.start()
+    spec = WorkloadSpec(name="d", conn_rate=conn_rate, duration=duration,
+                        factory=FixedFactory((service,)), ports=(443,))
+    gen = TrafficGenerator(env, lb, RngRegistry(5).stream("t"), spec)
+    gen.start()
+    env.run(until=duration + 1.0)
+    return lb
+
+
+class TestDispatcherMode:
+    def test_worker_zero_is_dispatcher(self):
+        env = Environment()
+        lb = LBServer(env, n_workers=4, ports=[443],
+                      mode=NotificationMode.USERSPACE_DISPATCHER)
+        assert isinstance(lb.workers[0], DispatcherWorker)
+        assert not isinstance(lb.workers[1], DispatcherWorker)
+        assert lb.workers[0].backends == lb.workers[1:]
+
+    def test_dispatcher_accepts_backends_process(self):
+        lb = drive(NotificationMode.USERSPACE_DISPATCHER)
+        dispatcher = lb.workers[0]
+        assert dispatcher.dispatched > 200
+        assert dispatcher.metrics.requests_completed == 0
+        assert lb.metrics.requests_completed == dispatcher.dispatched
+
+    def test_least_loaded_balance(self):
+        lb = drive(NotificationMode.USERSPACE_DISPATCHER)
+        accepted = [w.metrics.accepted for w in lb.workers[1:]]
+        assert max(accepted) < 1.3 * (sum(accepted) / len(accepted))
+
+    def test_dispatcher_saturates_at_high_cps(self):
+        """The §2.2 objection: the dispatcher caps device CPS."""
+        duration = 0.5
+        lb = drive(NotificationMode.USERSPACE_DISPATCHER,
+                   conn_rate=40000.0, duration=duration, service=0.00001)
+        # Utilization over the traffic window, not the idle settle tail.
+        dispatcher_util = lb.workers[0].metrics.cpu.busy_time() / duration
+        assert dispatcher_util > 0.5  # the critical-path bottleneck
+        backend_util = max(w.metrics.cpu.busy_time() / duration
+                           for w in lb.workers[1:])
+        assert backend_util < dispatcher_util / 3
+
+    def test_crash_of_all_backends_resets_connections(self):
+        env = Environment()
+        lb = LBServer(env, n_workers=2, ports=[443],
+                      mode=NotificationMode.USERSPACE_DISPATCHER)
+        lb.start()
+        lb.crash_worker(1)
+        conn = Connection(FourTuple(1, 2, 3, 443), created_time=0.0)
+        lb.connect(conn)
+        env.run(until=0.2)
+        assert conn.state.value == "reset"
+        assert lb.metrics.requests_failed >= 1
+
+    def test_needs_two_workers(self):
+        with pytest.raises(ValueError):
+            LBServer(Environment(), n_workers=1, ports=[443],
+                     mode=NotificationMode.USERSPACE_DISPATCHER)
+
+
+class TestIouringFifo:
+    def test_fifo_gradient_mirrors_lifo(self):
+        """FIFO wakes the first-registered worker; exclusive the last."""
+        fifo = drive(NotificationMode.IOURING_FIFO, conn_rate=200.0)
+        lifo = drive(NotificationMode.EXCLUSIVE, conn_rate=200.0)
+        fifo_accepted = [w.metrics.accepted for w in fifo.workers]
+        lifo_accepted = [w.metrics.accepted for w in lifo.workers]
+        # FIFO favours low worker ids, LIFO high worker ids.
+        assert fifo_accepted[0] == max(fifo_accepted)
+        assert lifo_accepted[-1] == max(lifo_accepted)
+
+    def test_still_load_unaware(self):
+        """FIFO order is fixed — connections still concentrate."""
+        lb = drive(NotificationMode.IOURING_FIFO, conn_rate=200.0)
+        accepted = [w.metrics.accepted for w in lb.workers]
+        assert max(accepted) > 2 * (sum(accepted) / len(accepted))
+
+    def test_tail_insertion_wiring(self):
+        env = Environment()
+        lb = LBServer(env, n_workers=3, ports=[443],
+                      mode=NotificationMode.IOURING_FIFO)
+        sock = lb.stack.bindings[443].shared
+        assert sock.wait_queue.insertion == "tail"

@@ -1,0 +1,113 @@
+"""Tests for connection-pool capacity limits (§5.1.1)."""
+
+import pytest
+
+from repro.core import (
+    BpfArrayMap,
+    CascadingScheduler,
+    HermesConfig,
+    WorkerStatusTable,
+    ids_from_bitmap,
+)
+from repro.kernel import Connection, FourTuple
+from repro.lb import LBServer, NotificationMode, ServiceProfile
+from repro.sim import Environment
+
+
+def connect(server, env, i=0):
+    conn = Connection(
+        FourTuple(0x0A000001 + i * 7, 40000 + i, 0xC0A80001, 443),
+        created_time=env.now)
+    server.connect(conn)
+    return conn
+
+
+class TestWorkerPoolLimit:
+    def test_accept_disabled_at_capacity(self):
+        env = Environment()
+        profile = ServiceProfile(max_connections=3)
+        server = LBServer(env, n_workers=1, ports=[443],
+                          mode=NotificationMode.REUSEPORT, profile=profile)
+        server.start()
+        conns = [connect(server, env, i) for i in range(5)]
+        env.run(until=0.3)
+        worker = server.workers[0]
+        assert len(worker.conns) == 3
+        assert worker.at_connection_capacity
+        # The listening socket is no longer watched (accept disabled).
+        sock = server.worker_socket(0, 443)
+        assert not worker.epoll.watches(sock)
+        # Overflow connections sit unaccepted (stranded).
+        stranded = [c for c in conns if c.worker is None]
+        assert len(stranded) == 2
+
+    def test_accept_reenabled_after_close(self):
+        env = Environment()
+        profile = ServiceProfile(max_connections=2)
+        server = LBServer(env, n_workers=1, ports=[443],
+                          mode=NotificationMode.REUSEPORT, profile=profile)
+        server.start()
+        conns = [connect(server, env, i) for i in range(3)]
+        env.run(until=0.2)
+        accepted = [c for c in conns if c.worker is not None]
+        assert len(accepted) == 2
+        accepted[0].client_close()
+        env.run(until=0.6)
+        # The freed slot lets the stranded connection in.
+        assert sum(1 for c in conns if c.worker is not None) == 3
+
+    def test_unlimited_by_default(self):
+        env = Environment()
+        server = LBServer(env, n_workers=1, ports=[443],
+                          mode=NotificationMode.REUSEPORT)
+        server.start()
+        for i in range(100):
+            connect(server, env, i)
+        env.run(until=0.5)
+        assert len(server.workers[0].conns) == 100
+        assert server.workers[0].pool_exhausted == 0
+
+
+class TestCapacityFilter:
+    def _scheduler(self, limits, conns):
+        clock = lambda: 0.0  # noqa: E731
+        wst = WorkerStatusTable(len(limits), clock)
+        for w, c in enumerate(conns):
+            wst.add_conns(w, c)
+        config = HermesConfig(filter_order=("capacity",))
+        sel_map = BpfArrayMap(1)
+        return CascadingScheduler(wst, sel_map, config=config, clock=clock,
+                                  capacity_limits=limits)
+
+    def test_full_worker_filtered(self):
+        scheduler = self._scheduler([10, 10, 10], [10, 5, 0])
+        result = scheduler.schedule_and_sync()
+        assert ids_from_bitmap(result.bitmap) == [1, 2]
+
+    def test_none_limit_never_filters(self):
+        scheduler = self._scheduler([None, 5], [1000, 5])
+        result = scheduler.schedule_and_sync()
+        assert ids_from_bitmap(result.bitmap) == [0]
+
+    def test_no_limits_is_noop(self):
+        clock = lambda: 0.0  # noqa: E731
+        wst = WorkerStatusTable(2, clock)
+        wst.add_conns(0, 1000)
+        config = HermesConfig(filter_order=("capacity",))
+        scheduler = CascadingScheduler(wst, BpfArrayMap(1), config=config,
+                                       clock=clock)
+        result = scheduler.schedule_and_sync()
+        assert result.n_selected == 2
+
+    def test_capacity_stage_in_config_validation(self):
+        HermesConfig(filter_order=("time", "capacity", "conn", "event"))
+        with pytest.raises(ValueError):
+            HermesConfig(filter_order=("capactiy",))  # typo rejected
+
+    def test_server_wires_capacity_limits(self):
+        env = Environment()
+        profile = ServiceProfile(max_connections=7)
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.HERMES, profile=profile)
+        scheduler = server.groups[0].scheduler
+        assert scheduler.capacity_limits == (7, 7, 7, 7)

@@ -1,0 +1,81 @@
+"""Tests for the health prober."""
+
+import pytest
+
+from repro.lb import LBServer, NotificationMode, Prober
+from repro.sim import Environment
+
+
+def make(n_workers=2, mode=NotificationMode.REUSEPORT):
+    env = Environment()
+    server = LBServer(env, n_workers=n_workers, ports=[443], mode=mode)
+    server.start()
+    return env, server
+
+
+class TestHealthyWorkers:
+    def test_probes_complete_quickly(self):
+        env, server = make()
+        prober = Prober(env, server, interval=0.05)
+        prober.start()
+        env.run(until=1.0)
+        prober._harvest()
+        report = prober.report
+        assert report.sent >= 30
+        assert report.completed > 0
+        assert report.delayed == 0
+        assert report.lost == 0
+        assert report.delays.p99 < 0.05
+
+    def test_probe_connections_persist(self):
+        env, server = make()
+        prober = Prober(env, server, interval=0.05)
+        prober.start()
+        env.run(until=0.5)
+        # One probe connection per worker, reused across rounds.
+        assert len(prober._conns) == server.n_workers
+
+
+class TestHungWorker:
+    def test_hang_produces_delayed_probes(self):
+        env, server = make(n_workers=2)
+        prober = Prober(env, server, interval=0.05, threshold=0.2)
+        prober.start()
+        env.schedule_callback(0.2, lambda: server.hang_worker(0, 1.5))
+        env.run(until=2.0)
+        prober._harvest()
+        assert prober.report.delayed >= 1
+
+    def test_healthy_worker_unaffected(self):
+        env, server = make(n_workers=2)
+        prober = Prober(env, server, interval=0.05, threshold=0.2)
+        prober.start()
+        env.schedule_callback(0.2, lambda: server.hang_worker(0, 1.0))
+        env.run(until=2.0)
+        prober._harvest()
+        # Worker 1 kept answering: most probes completed fast.
+        fast = sum(1 for d in prober.report.delays.values if d < 0.05)
+        assert fast >= prober.report.sent * 0.4
+
+
+class TestCrashedWorker:
+    def test_crash_counts_lost_probes(self):
+        env, server = make(n_workers=2)
+        prober = Prober(env, server, interval=0.1, threshold=0.2)
+        prober.start()
+        env.schedule_callback(0.3, lambda: server.crash_worker(0))
+        env.schedule_callback(
+            0.35, lambda: server.detect_and_clean_worker(0))
+        env.run(until=2.0)
+        prober._harvest()
+        assert prober.report.lost + prober.report.delayed >= 5
+
+    def test_stop(self):
+        env, server = make()
+        prober = Prober(env, server, interval=0.05)
+        prober.start()
+        env.run(until=0.3)
+        prober.stop()
+        sent = prober.report.sent
+        env.run(until=1.0)
+        assert prober.report.sent == sent

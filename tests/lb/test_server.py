@@ -1,0 +1,175 @@
+"""Tests for LBServer mode wiring and dispatch behaviour."""
+
+import pytest
+
+from repro.core import HermesConfig
+from repro.kernel import Connection, FourTuple
+from repro.lb import LBServer, NotificationMode
+from repro.sim import Environment
+
+
+def connect_many(server, env, n, port=443):
+    conns = []
+    for i in range(n):
+        conn = Connection(
+            FourTuple(0x0A000001 + i * 13, 40000 + i * 7, 0xC0A80001, port),
+            created_time=env.now)
+        server.connect(conn)
+        conns.append(conn)
+    return conns
+
+
+class TestSharedModes:
+    def test_exclusive_single_shared_socket_per_port(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443, 444],
+                          mode=NotificationMode.EXCLUSIVE)
+        assert server.stack.bindings[443].shared is not None
+        # All workers watch the same socket.
+        sock = server.stack.bindings[443].shared
+        assert all(sock in w.listen_socks for w in server.workers)
+
+    def test_exclusive_concentrates_connections(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.EXCLUSIVE)
+        server.start()
+
+        def feed(env):
+            for i in range(40):
+                yield env.timeout(0.002)
+                conn = Connection(FourTuple(i, 40000 + i, 1, 443),
+                                  created_time=env.now)
+                server.connect(conn)
+
+        env.process(feed(env))
+        env.run(until=0.5)
+        counts = sorted(server.connection_counts())
+        # LIFO: virtually everything lands on one worker.
+        assert counts[-1] >= 35
+
+    def test_herd_mode_no_exclusive_flag(self):
+        env = Environment()
+        server = LBServer(env, n_workers=3, ports=[443],
+                          mode=NotificationMode.HERD)
+        sock = server.stack.bindings[443].shared
+        assert all(not e.exclusive for e in sock.wait_queue.entries)
+
+    def test_rr_mode_rotates(self):
+        env = Environment()
+        server = LBServer(env, n_workers=3, ports=[443],
+                          mode=NotificationMode.EXCLUSIVE_RR)
+        sock = server.stack.bindings[443].shared
+        assert sock.wait_queue.rotate_on_wake
+
+    def test_stagger_registration_rotates_head(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443, 444, 445],
+                          mode=NotificationMode.EXCLUSIVE,
+                          stagger_registration=True)
+        heads = []
+        for port in (443, 444, 445):
+            sock = server.stack.bindings[port].shared
+            entries = sock.wait_queue.entries
+            heads.append(id(entries[0]))
+        assert len(set(heads)) == 3  # different head entry per port
+
+
+class TestReuseportMode:
+    def test_one_socket_per_worker_per_port(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443, 444],
+                          mode=NotificationMode.REUSEPORT)
+        for port in (443, 444):
+            group = server.stack.group_for(port)
+            assert len(group) == 4
+        for w in server.workers:
+            assert len(w.listen_socks) == 2
+
+    def test_connections_spread_by_hash(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.REUSEPORT)
+        server.start()
+        connect_many(server, env, 100)
+        env.run(until=0.5)
+        counts = server.connection_counts()
+        assert all(c > 0 for c in counts)
+
+
+class TestHermesMode:
+    def test_program_attached_to_every_port(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443, 444],
+                          mode=NotificationMode.HERMES)
+        for port in (443, 444):
+            assert server.stack.group_for(port).program \
+                is server.dispatch_program
+
+    def test_single_group_below_64_workers(self):
+        env = Environment()
+        server = LBServer(env, n_workers=8, ports=[443],
+                          mode=NotificationMode.HERMES)
+        assert len(server.groups) == 1
+
+    def test_multiple_groups_above_64_workers(self):
+        env = Environment()
+        server = LBServer(env, n_workers=100, ports=[443],
+                          mode=NotificationMode.HERMES)
+        assert len(server.groups) == 2
+        assert len(server.groups[0].worker_ids) == 64
+        assert len(server.groups[1].worker_ids) == 36
+
+    def test_sock_map_identity_mapping(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.HERMES)
+        group = server.groups[0]
+        for rank in range(4):
+            assert group.sock_map.select(rank) == rank
+
+    def test_dispatch_prefers_bitmap_workers(self):
+        env = Environment()
+        config = HermesConfig(min_workers=1)
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.HERMES, config=config)
+        server.start()
+        env.run(until=0.05)  # let schedulers publish a full bitmap
+        # Force the bitmap to worker 2 only.
+        group = server.groups[0]
+        group.sel_map.update_from_user(0, 0b0100)
+
+        conns = connect_many(server, env, 10)
+        for conn in conns:
+            assert conn.listen_socket.owner is server.workers[2]
+
+    def test_crash_cleanup_removes_from_sock_map(self):
+        env = Environment()
+        server = LBServer(env, n_workers=4, ports=[443],
+                          mode=NotificationMode.HERMES)
+        server.start()
+        env.run(until=0.05)
+        server.crash_worker(1)
+        server.detect_and_clean_worker(1)
+        assert not server.groups[0].sock_map.installed(1)
+        # The dead worker's socket is closed but indices are stable.
+        group = server.stack.group_for(443)
+        assert group.sockets[1].closed
+        assert not group.sockets[2].closed
+
+    def test_custom_group_size(self):
+        env = Environment()
+        config = HermesConfig(group_size=2)
+        server = LBServer(env, n_workers=6, ports=[443],
+                          mode=NotificationMode.HERMES, config=config)
+        assert len(server.groups) == 3
+
+
+class TestRefusal:
+    def test_unbound_port_counts_refused(self):
+        env = Environment()
+        server = LBServer(env, n_workers=2, ports=[443],
+                          mode=NotificationMode.REUSEPORT)
+        conn = Connection(FourTuple(1, 2, 3, 9999), created_time=0.0)
+        assert not server.connect(conn)
+        assert server.metrics.connections_refused == 1

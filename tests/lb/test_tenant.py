@@ -1,0 +1,67 @@
+"""Tests for tenant/port planning."""
+
+import pytest
+
+from repro.lb import Tenant, TenantDirectory
+from repro.sim import RngRegistry
+
+
+def rng():
+    return RngRegistry(9).stream("tenants")
+
+
+class TestBuild:
+    def test_port_allocation_disjoint(self):
+        directory = TenantDirectory.build(10, rng(), ports_per_tenant=3)
+        ports = directory.all_ports
+        assert len(ports) == 30
+        assert len(set(ports)) == 30
+
+    def test_tenant_lookup_by_port(self):
+        directory = TenantDirectory.build(5, rng(), ports_per_tenant=2)
+        for tenant in directory.tenants:
+            for port in tenant.ports:
+                assert directory.tenant_for_port(port) is tenant
+
+    def test_zipf_weights_descending(self):
+        directory = TenantDirectory.build(10, rng(), skew_alpha=1.2)
+        weights = [t.weight for t in directory.tenants]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > 3 * weights[-1]
+
+    def test_explicit_weights(self):
+        directory = TenantDirectory.build(
+            3, rng(), weights=[0.5, 0.3, 0.2])
+        assert [t.weight for t in directory.tenants] == [0.5, 0.3, 0.2]
+
+    def test_rules_positive(self):
+        directory = TenantDirectory.build(50, rng(), mean_rules=12)
+        rules = directory.rules_per_port()
+        assert all(r >= 1 for r in rules)
+        # Long-tailed: some port has far more rules than the median.
+        assert max(rules) > 3 * sorted(rules)[len(rules) // 2]
+
+    def test_port_weights_split_across_tenant_ports(self):
+        directory = TenantDirectory.build(2, rng(), ports_per_tenant=2,
+                                          weights=[0.8, 0.2])
+        assert directory.port_weights == [0.4, 0.4, 0.1, 0.1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantDirectory.build(0, rng())
+        with pytest.raises(ValueError):
+            TenantDirectory.build(2, rng(), ports_per_tenant=0)
+        with pytest.raises(ValueError):
+            TenantDirectory.build(3, rng(), weights=[1.0])
+        with pytest.raises(ValueError):
+            TenantDirectory([])
+
+    def test_duplicate_port_rejected(self):
+        t1 = Tenant(0, "a", [100])
+        t2 = Tenant(1, "b", [100])
+        with pytest.raises(ValueError):
+            TenantDirectory([t1, t2])
+
+    def test_total_rules(self):
+        tenant = Tenant(0, "a", [1, 2], rules_per_port={1: 3, 2: 4})
+        assert tenant.total_rules == 7

@@ -1,0 +1,208 @@
+"""Tests for the worker event loop (Fig. 9 semantics)."""
+
+import pytest
+
+from repro.core import HermesConfig
+from repro.kernel import Connection, FourTuple, NetStack, Request
+from repro.lb import LBServer, NotificationMode, ServiceProfile, WorkerState
+from repro.sim import Environment
+
+
+def make_server(mode=NotificationMode.REUSEPORT, n_workers=2, **kwargs):
+    env = Environment()
+    server = LBServer(env, n_workers=n_workers, ports=[443], mode=mode,
+                      **kwargs)
+    server.start()
+    return env, server
+
+
+def connect(server, env, i=0, port=443, tenant=0):
+    conn = Connection(FourTuple(0x0A000001 + i, 40000 + i, 0xC0A80001, port),
+                      tenant_id=tenant, created_time=env.now)
+    assert server.connect(conn)
+    return conn
+
+
+class TestAcceptPath:
+    def test_connection_gets_accepted(self):
+        env, server = make_server()
+        conn = connect(server, env)
+        env.run(until=0.1)
+        assert conn.worker is not None
+        assert conn.fd is not None
+        assert server.metrics.connections_accepted == 1
+
+    def test_request_processed_and_latency_recorded(self):
+        env, server = make_server()
+        conn = connect(server, env)
+        req = Request(event_times=(0.001, 0.002))
+        env.schedule_callback(0.01, lambda: server.deliver(conn, req))
+        env.run(until=0.2)
+        assert req.completed_time > 0
+        assert server.metrics.requests_completed == 1
+        # Latency >= service time (modulo float rounding).
+        assert server.metrics.request_latencies.values[0] >= 0.003 - 1e-9
+
+    def test_fin_closes_connection(self):
+        env, server = make_server()
+        conn = connect(server, env)
+        env.schedule_callback(0.05, conn.client_close)
+        env.run(until=0.3)
+        assert conn.state.value == "closed"
+        assert conn.worker.connection_count == 0
+
+    def test_fin_waits_for_pending_requests(self):
+        env, server = make_server()
+        conn = connect(server, env)
+        req = Request(event_times=(0.02,))
+
+        def send_and_close():
+            server.deliver(conn, req)
+            conn.client_close()
+
+        env.schedule_callback(0.01, send_and_close)
+        env.run(until=0.5)
+        assert req.completed_time > 0  # processed before close
+        assert conn.state.value == "closed"
+
+    def test_multiple_requests_fifo_on_connection(self):
+        env, server = make_server(n_workers=1)
+        conn = connect(server, env)
+        reqs = [Request(event_times=(0.005,)) for _ in range(3)]
+
+        def send_all():
+            for r in reqs:
+                server.deliver(conn, r)
+
+        env.schedule_callback(0.01, send_all)
+        env.run(until=0.5)
+        done = [r.completed_time for r in reqs]
+        assert all(t > 0 for t in done)
+        assert done == sorted(done)
+
+
+class TestCpuAccounting:
+    def test_busy_time_tracks_service(self):
+        env, server = make_server(n_workers=1)
+        conn = connect(server, env)
+        env.schedule_callback(
+            0.01, lambda: server.deliver(conn, Request(event_times=(0.05,))))
+        env.run(until=0.5)
+        worker = server.workers[0]
+        busy = worker.metrics.cpu.busy_time()
+        assert busy >= 0.05
+        assert busy < 0.1
+
+    def test_idle_worker_near_zero_utilization(self):
+        env, server = make_server(n_workers=2)
+        env.run(until=1.0)
+        for worker in server.workers:
+            assert worker.metrics.cpu_utilization < 0.02
+
+
+class TestHangInjection:
+    def test_hang_blocks_event_loop(self):
+        env, server = make_server(n_workers=1)
+        server.hang_worker(0, duration=0.2)
+        conn = connect(server, env)
+        env.run(until=0.1)
+        assert conn.worker is None  # still hung, nothing accepted
+        env.run(until=0.5)
+        assert conn.worker is not None  # recovered
+
+    def test_hang_consumes_cpu(self):
+        env, server = make_server(n_workers=1)
+        server.hang_worker(0, duration=0.3)
+        env.run(until=0.5)
+        assert server.workers[0].metrics.cpu.busy_time() >= 0.3
+
+
+class TestCrash:
+    def test_crash_stops_processing(self):
+        env, server = make_server(n_workers=2)
+        env.run(until=0.05)
+        server.crash_worker(0)
+        assert server.workers[0].state is WorkerState.CRASHED
+        assert not server.workers[0].is_alive
+        assert len(server.alive_workers) == 1
+
+    def test_crash_is_idempotent(self):
+        env, server = make_server()
+        env.run(until=0.05)
+        server.crash_worker(0)
+        server.crash_worker(0)  # no error
+        assert server.workers[0].state is WorkerState.CRASHED
+
+    def test_cleanup_resets_connections(self):
+        env, server = make_server(mode=NotificationMode.REUSEPORT,
+                                  n_workers=2)
+        conns = [connect(server, env, i) for i in range(20)]
+        env.run(until=0.2)
+        victim = conns[0].worker.worker_id
+        owned = [c for c in conns if c.worker
+                 and c.worker.worker_id == victim]
+        server.crash_worker(victim)
+        killed = server.detect_and_clean_worker(victim)
+        assert killed == len(owned)
+        assert all(c.state.value == "reset" for c in owned)
+
+
+class TestHermesInstrumentation:
+    def test_wst_timestamp_advances(self):
+        env, server = make_server(mode=NotificationMode.HERMES, n_workers=2)
+        env.run(until=0.1)
+        group = server.groups[0]
+        for t in group.wst.times:
+            assert t > 0.08  # touched within the last loop iterations
+
+    def test_conn_counter_tracks_connections(self):
+        env, server = make_server(mode=NotificationMode.HERMES, n_workers=2)
+        conns = [connect(server, env, i) for i in range(6)]
+        env.run(until=0.2)
+        group = server.groups[0]
+        assert sum(group.wst.conns) == 6
+        for conn in conns:
+            conn.client_close()
+        env.run(until=0.4)
+        assert sum(group.wst.conns) == 0
+
+    def test_scheduler_runs_every_iteration(self):
+        env, server = make_server(mode=NotificationMode.HERMES, n_workers=2)
+        env.run(until=0.1)
+        # 2 workers x ~20 iterations each over 100ms of 5ms timeouts.
+        assert server.groups[0].scheduler.calls >= 30
+
+    def test_hung_hermes_worker_excluded_from_bitmap(self):
+        env, server = make_server(mode=NotificationMode.HERMES, n_workers=2,
+                                  config=HermesConfig(hang_threshold=0.02,
+                                                      min_workers=1))
+        env.run(until=0.05)
+        server.hang_worker(0, duration=0.5)
+        env.run(until=0.3)
+        group = server.groups[0]
+        assert group.sel_map.read_from_user(0) == 0b10  # only worker 1
+
+    def test_overhead_charged_to_cpu(self):
+        env, server = make_server(mode=NotificationMode.HERMES, n_workers=1)
+        env.run(until=1.0)
+        # Idle Hermes worker still pays scheduler/syscall costs each loop.
+        assert server.workers[0].metrics.cpu.busy_time() > 0
+
+
+class TestServiceProfile:
+    def test_edge_triggered_drains_whole_request(self):
+        profile = ServiceProfile(edge_triggered=True)
+        env, server = make_server(n_workers=1, profile=profile)
+        conn = connect(server, env)
+        req = Request(event_times=(0.01, 0.01, 0.01))
+        env.schedule_callback(0.005, lambda: server.deliver(conn, req))
+        env.run(until=0.2)
+        assert req.completed_time > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LBServer(Environment(), n_workers=0, ports=[443],
+                     mode=NotificationMode.HERMES)
+        with pytest.raises(ValueError):
+            LBServer(Environment(), n_workers=2, ports=[],
+                     mode=NotificationMode.HERMES)

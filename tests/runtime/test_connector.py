@@ -1,0 +1,76 @@
+"""Unit tests for connector pick logic (no sockets)."""
+
+from repro.core import bitmap_from_ids
+from repro.runtime import HashConnector, HermesConnector
+from repro.runtime.shm import ShmSelectionMap
+from repro.sim import RngRegistry
+
+
+def rng(name="c"):
+    return RngRegistry(23).stream(name)
+
+
+class TestHashConnectorPick:
+    def test_spreads_over_all_ports(self):
+        connector = HashConnector(ports=[1, 2, 3, 4], rng=rng())
+        picks = {connector._pick() for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestHermesConnectorPick:
+    def _with_bitmap(self, ids, n_ports=4, min_workers=1):
+        sel_map = ShmSelectionMap()
+        sel_map.update_from_user(0, bitmap_from_ids(ids) if ids else 0)
+        connector = HermesConnector(ports=list(range(n_ports)), rng=rng(),
+                                    sel_map=sel_map,
+                                    min_workers=min_workers)
+        return connector, sel_map
+
+    def test_picks_only_bitmap_workers(self):
+        connector, sel_map = self._with_bitmap([1, 3])
+        try:
+            picks = {connector._pick() for _ in range(100)}
+            assert picks <= {1, 3}
+            assert connector.fallbacks == 0
+        finally:
+            sel_map.close()
+            sel_map.unlink()
+
+    def test_empty_bitmap_falls_back_to_hash(self):
+        connector, sel_map = self._with_bitmap([])
+        try:
+            picks = {connector._pick() for _ in range(100)}
+            assert len(picks) > 1  # hash over everyone
+            assert connector.fallbacks == 100
+        finally:
+            sel_map.close()
+            sel_map.unlink()
+
+    def test_min_workers_gate(self):
+        connector, sel_map = self._with_bitmap([2], min_workers=2)
+        try:
+            connector._pick()
+            assert connector.fallbacks == 1
+        finally:
+            sel_map.close()
+            sel_map.unlink()
+
+    def test_stale_bit_beyond_ports_falls_back(self):
+        connector, sel_map = self._with_bitmap([9], n_ports=4)
+        try:
+            pick = connector._pick()
+            assert 0 <= pick < 4
+            assert connector.fallbacks == 1
+        finally:
+            sel_map.close()
+            sel_map.unlink()
+
+    def test_live_bitmap_changes_take_effect(self):
+        connector, sel_map = self._with_bitmap([0])
+        try:
+            assert connector._pick() == 0
+            sel_map.update_from_user(0, bitmap_from_ids([2]))
+            assert connector._pick() == 2
+        finally:
+            sel_map.close()
+            sel_map.unlink()

@@ -1,0 +1,174 @@
+"""Tests for the real shared-memory WST (seqlock semantics, cross-process)."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.runtime import ShmSelectionMap, ShmWorkerStatusTable
+
+
+class TestSingleProcess:
+    def test_create_write_read(self):
+        with ShmWorkerStatusTable(3, clock=lambda: 1.5) as wst:
+            wst.touch_timestamp(0)
+            wst.add_events(1, 4)
+            wst.add_conns(2, 7)
+            snap = wst.read_all()
+            assert snap.times[0] == 1.5
+            assert snap.events == (0, 4, 0)
+            assert snap.conns == (0, 0, 7)
+
+    def test_counters_floor_at_zero(self):
+        with ShmWorkerStatusTable(1) as wst:
+            wst.add_events(0, -5)
+            assert wst.read_slot(0)[1] == 0
+
+    def test_set_slot(self):
+        with ShmWorkerStatusTable(2) as wst:
+            wst.set_slot(1, 9.0, 3, 4)
+            assert wst.read_slot(1) == (9.0, 3, 4)
+
+    def test_bounds(self):
+        with ShmWorkerStatusTable(2) as wst:
+            with pytest.raises(IndexError):
+                wst.read_slot(2)
+        with pytest.raises(ValueError):
+            ShmWorkerStatusTable(0)
+
+    def test_attach_sees_writes(self):
+        creator = ShmWorkerStatusTable(2, clock=lambda: 2.0)
+        try:
+            creator.touch_timestamp(1)
+            other = ShmWorkerStatusTable.attach(creator.name, 2)
+            assert other.read_slot(1)[0] == 2.0
+            other.close()
+        finally:
+            creator.close()
+            creator.unlink()
+
+    def test_attach_requires_name(self):
+        with pytest.raises(ValueError):
+            ShmWorkerStatusTable(2, create=False)
+
+
+def _hammer_writer(name, worker_id, n_workers, iterations, barrier):
+    wst = ShmWorkerStatusTable.attach(name, n_workers)
+    barrier.wait()
+    # Publish (timestamp=i, events=2i, conns=3i) — a consistent triple a
+    # torn read would break.
+    for i in range(1, iterations + 1):
+        wst.set_slot(worker_id, float(i), 2 * i, 3 * i)
+    wst.close()
+
+
+class TestCrossProcess:
+    def test_no_torn_reads_under_hammering(self):
+        """Readers must only ever see consistent (i, 2i, 3i) triples."""
+        n_workers = 2
+        iterations = 4000
+        wst = ShmWorkerStatusTable(n_workers)
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(n_workers + 1)
+        writers = [
+            ctx.Process(target=_hammer_writer,
+                        args=(wst.name, w, n_workers, iterations, barrier),
+                        daemon=True)
+            for w in range(n_workers)
+        ]
+        try:
+            for p in writers:
+                p.start()
+            barrier.wait()
+            deadline = time.monotonic() + 15.0
+            reads = 0
+            while any(p.is_alive() for p in writers):
+                assert time.monotonic() < deadline, "writers hung"
+                for w in range(n_workers):
+                    t, e, c = wst.read_slot(w)
+                    i = int(t)
+                    assert (t, e, c) == (float(i), 2 * i, 3 * i), \
+                        f"torn read: {(t, e, c)}"
+                    reads += 1
+            for p in writers:
+                p.join()
+            # Final state is each writer's last value.
+            for w in range(n_workers):
+                assert wst.read_slot(w) == (
+                    float(iterations), 2 * iterations, 3 * iterations)
+            assert reads > 50
+        finally:
+            for p in writers:
+                if p.is_alive():
+                    p.terminate()
+            wst.close()
+            wst.unlink()
+
+
+class TestSelectionMap:
+    def test_update_and_read(self):
+        shm_map = ShmSelectionMap()
+        try:
+            shm_map.update_from_user(0, 0b1011)
+            assert shm_map.read_from_user(0) == 0b1011
+            assert shm_map.lookup(0) == 0b1011
+            assert shm_map.user_updates == 1
+            assert shm_map.kernel_lookups == 1
+        finally:
+            shm_map.close()
+            shm_map.unlink()
+
+    def test_full_word(self):
+        shm_map = ShmSelectionMap()
+        try:
+            value = (1 << 64) - 1
+            shm_map.update_from_user(0, value)
+            assert shm_map.read_from_user(0) == value
+        finally:
+            shm_map.close()
+            shm_map.unlink()
+
+    def test_cross_process_visibility(self):
+        shm_map = ShmSelectionMap()
+        try:
+            other = ShmSelectionMap.attach(shm_map.name)
+            shm_map.update_from_user(0, 42)
+            assert other.read_from_user(0) == 42
+            other.close()
+        finally:
+            shm_map.close()
+            shm_map.unlink()
+
+    def test_bounds(self):
+        shm_map = ShmSelectionMap(2)
+        try:
+            with pytest.raises(IndexError):
+                shm_map.lookup(2)
+        finally:
+            shm_map.close()
+            shm_map.unlink()
+
+
+class TestSchedulerOverShm:
+    def test_same_algorithm1_code_runs_over_real_memory(self):
+        """The simulation's CascadingScheduler, unmodified, over real shm."""
+        from repro.core import CascadingScheduler, HermesConfig
+
+        wst = ShmWorkerStatusTable(3, clock=lambda: 100.0)
+        sel_map = ShmSelectionMap()
+        try:
+            config = HermesConfig(hang_threshold=0.05)
+            scheduler = CascadingScheduler(wst, sel_map, config=config,
+                                           clock=lambda: 100.0)
+            # Worker 0 hung (stale timestamp), worker 2 overloaded.
+            wst.set_slot(0, 99.0, 0, 0)      # 1 s stale
+            wst.set_slot(1, 100.0, 1, 5)
+            wst.set_slot(2, 100.0, 1, 50)
+            result = scheduler.schedule_and_sync()
+            assert result.bitmap == 0b010
+            assert sel_map.read_from_user(0) == 0b010
+        finally:
+            wst.close()
+            wst.unlink()
+            sel_map.close()
+            sel_map.unlink()

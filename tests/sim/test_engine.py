@@ -1,0 +1,360 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=42.0)
+    assert env.now == 42.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_advances_clock_to_horizon():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_backwards_rejected():
+    env = Environment(initial_time=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    log = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        log.append(tag)
+
+    env.process(waiter(env, 3, "c"))
+    env.process(waiter(env, 1, "a"))
+    env.process(waiter(env, 2, "b"))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_creation_order():
+    env = Environment()
+    log = []
+
+    def waiter(env, tag):
+        yield env.timeout(1)
+        log.append(tag)
+
+    for tag in "abcde":
+        env.process(waiter(env, tag))
+    env.run()
+    assert log == list("abcde")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.ok
+    assert p.value == "done"
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2)
+        return 7
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result * 2
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == 14
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def opener(env):
+        yield env.timeout(4)
+        gate.succeed("open")
+
+    def waiter(env):
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener(env))
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (4, "open")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    def waiter(env):
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    env.process(failer(env))
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_waiting_on_already_fired_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(99)
+
+    def proc(env):
+        value = yield ev
+        return value
+
+    env.run(until=1)  # let ev become processed
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    def attacker(env, target):
+        yield env.timeout(5)
+        target.interrupt("reason")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == ("interrupted", "reason", 5)
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(10)
+        return env.now
+
+    def attacker(env, target):
+        yield env.timeout(5)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == 15
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(3, "slow")
+        t2 = env.timeout(1, "fast")
+        result = yield AnyOf(env, [t1, t2])
+        return (env.now, list(result.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1, ["fast"])
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(3, "slow")
+        t2 = env.timeout(1, "fast")
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(result.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3, ["fast", "slow"])
+
+
+def test_or_and_operators():
+    env = Environment()
+
+    def proc(env):
+        first = yield env.timeout(1, "a") | env.timeout(5, "b")
+        both = yield env.timeout(1, "c") & env.timeout(2, "d")
+        return (list(first.values()), sorted(both.values()), env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (["a"], ["c", "d"], 3)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    env.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_schedule_callback():
+    env = Environment()
+    fired = []
+    env.schedule_callback(7, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [7]
+
+
+def test_peek_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(9)
+    assert env.peek() == 9
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_process_exception_is_recorded():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("kaboom")
+
+    p = env.process(bad(env))
+    env.run()
+    assert not p.ok
+    assert isinstance(p.value, RuntimeError)
+
+
+def test_interrupt_race_with_completion_is_safe():
+    """An interrupt landing at the exact time a process finishes is a no-op."""
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(5)
+        return "finished"
+
+    def attacker(env, target):
+        yield env.timeout(5)
+        if target.is_alive:
+            target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    # Whichever order the t=5 events fire in, the run must not blow up and
+    # the victim must have a settled final state.
+    assert v.triggered
+
+
+def test_nested_process_failure_propagates():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child died")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return str(exc)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child died"

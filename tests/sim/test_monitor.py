@@ -1,0 +1,161 @@
+"""Tests for measurement instruments."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import BusyTracker, Environment, PeriodicSampler, Samples, TimeWeighted
+
+
+class TestSamples:
+    def test_empty(self):
+        s = Samples()
+        assert s.mean == 0.0
+        assert s.percentile(50) == 0.0
+        assert s.cdf() == []
+        assert len(s) == 0
+
+    def test_basic_stats(self):
+        s = Samples()
+        s.extend([1, 2, 3, 4, 5])
+        assert s.mean == 3.0
+        assert s.p50 == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.total == 15.0
+
+    def test_percentile_interpolation(self):
+        s = Samples()
+        s.extend([0, 10])
+        assert s.percentile(50) == 5.0
+        assert s.percentile(25) == 2.5
+
+    def test_percentile_bounds(self):
+        s = Samples()
+        s.add(1)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_single_sample(self):
+        s = Samples()
+        s.add(7)
+        assert s.p99 == 7
+        assert s.p50 == 7
+
+    def test_cdf_monotone_ends_at_one(self):
+        s = Samples()
+        s.extend(range(1000))
+        cdf = s.cdf(points=50)
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert cdf[-1][1] == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=100))
+    def test_property_percentiles_ordered(self, values):
+        s = Samples()
+        s.extend(values)
+        eps = max(1e-9, s.maximum * 1e-12)  # interpolation rounding slack
+        assert s.p50 <= s.p90 + eps
+        assert s.p90 <= s.p99 + eps
+        assert s.p99 <= s.p999 + eps
+        assert s.p999 <= s.maximum + eps
+
+
+class TestTimeWeighted:
+    def test_average_weights_by_duration(self):
+        env = Environment()
+        gauge = TimeWeighted(env, initial=0)
+        gauge.set(10)
+        env._now = 3.0
+        gauge.set(0)
+        env._now = 4.0
+        assert gauge.average() == pytest.approx(7.5)
+
+    def test_increment_decrement(self):
+        env = Environment()
+        gauge = TimeWeighted(env)
+        gauge.increment()
+        gauge.increment(2)
+        gauge.decrement()
+        assert gauge.level == 2
+
+    def test_peak(self):
+        env = Environment()
+        gauge = TimeWeighted(env)
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.peak == 5
+
+    def test_zero_elapsed(self):
+        env = Environment()
+        gauge = TimeWeighted(env, initial=3)
+        assert gauge.average() == 3
+
+
+class TestBusyTracker:
+    def test_utilization(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 1.0
+        tracker.end()
+        env._now = 2.0
+        assert tracker.utilization() == pytest.approx(0.5)
+
+    def test_nested_begin_is_idempotent(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        tracker.begin()
+        env._now = 1.0
+        tracker.end()
+        assert tracker.busy_time() == pytest.approx(1.0)
+
+    def test_busy_time_includes_open_interval(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 2.0
+        assert tracker.busy_time() == pytest.approx(2.0)
+        assert tracker.busy
+
+    def test_end_without_begin_is_noop(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.end()
+        assert tracker.busy_time() == 0.0
+
+    def test_windowed_utilization_with_checkpoints(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 1.0
+        tracker.end()
+        tracker.checkpoint()
+        env._now = 2.0
+        tracker.checkpoint()
+        # Window [1, 2] was fully idle.
+        assert tracker.utilization(since=1.0) == pytest.approx(0.0)
+
+
+class TestPeriodicSampler:
+    def test_samples_on_interval(self):
+        env = Environment()
+        values = iter(range(100))
+        sampler = PeriodicSampler(env, 0.5, lambda: next(values))
+        env.run(until=2.4)
+        assert len(sampler.samples) == 4
+        assert [t for t, _ in sampler.samples] == [0.5, 1.0, 1.5, 2.0]
+        assert sampler.values() == [0, 1, 2, 3]
+
+    def test_stop(self):
+        env = Environment()
+        sampler = PeriodicSampler(env, 0.1, lambda: 1.0)
+        env.run(until=0.35)
+        sampler.stop()
+        env.run(until=2.0)
+        assert len(sampler.samples) == 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicSampler(Environment(), 0.0, lambda: 1.0)

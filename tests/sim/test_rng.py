@@ -1,0 +1,100 @@
+"""Tests for reproducible RNG streams."""
+
+import pytest
+
+from repro.sim import RngRegistry
+
+
+class TestRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(42).stream("traffic")
+        b = RngRegistry(42).stream("traffic")
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+
+    def test_independent_of_creation_order(self):
+        r1 = RngRegistry(42)
+        r1.stream("x")
+        seq1 = [r1.stream("traffic").random() for _ in range(5)]
+        r2 = RngRegistry(42)
+        seq2 = [r2.stream("traffic").random() for _ in range(5)]
+        assert seq1 == seq2
+
+    def test_different_names_differ(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a").random() != registry.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("a").random() != \
+            RngRegistry(2).stream("a").random()
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(7)
+        fork = base.fork("run2")
+        assert base.stream("a").random() != fork.stream("a").random()
+
+    def test_fork_reproducible(self):
+        assert RngRegistry(7).fork("x").stream("a").random() == \
+            RngRegistry(7).fork("x").stream("a").random()
+
+
+class TestDistributions:
+    def test_poisson_mean(self):
+        rng = RngRegistry(3).stream("poisson")
+        for lam in (0.5, 5.0, 80.0):
+            samples = [rng.poisson(lam) for _ in range(4000)]
+            assert sum(samples) / len(samples) == pytest.approx(lam, rel=0.1)
+
+    def test_poisson_edge_cases(self):
+        rng = RngRegistry(3).stream("p")
+        assert rng.poisson(0) == 0
+        with pytest.raises(ValueError):
+            rng.poisson(-1)
+
+    def test_zipf_range_and_skew(self):
+        rng = RngRegistry(3).stream("zipf")
+        samples = [rng.zipf(100, 1.2) for _ in range(5000)]
+        assert all(1 <= s <= 100 for s in samples)
+        ones = sum(1 for s in samples if s == 1)
+        tens = sum(1 for s in samples if s == 10)
+        assert ones > 3 * tens
+
+    def test_zipf_alpha_zero_uniform(self):
+        rng = RngRegistry(3).stream("zipf0")
+        samples = [rng.zipf(10, 0.0) for _ in range(5000)]
+        counts = [samples.count(k) for k in range(1, 11)]
+        assert min(counts) > 300
+
+    def test_zipf_validation(self):
+        rng = RngRegistry(3).stream("z")
+        with pytest.raises(ValueError):
+            rng.zipf(0, 1.0)
+
+    def test_bounded_pareto_in_bounds(self):
+        rng = RngRegistry(3).stream("pareto")
+        for _ in range(1000):
+            value = rng.bounded_pareto(1.5, 1.0, 100.0)
+            assert 1.0 <= value <= 100.0
+
+    def test_bounded_pareto_validation(self):
+        rng = RngRegistry(3).stream("pareto2")
+        with pytest.raises(ValueError):
+            rng.bounded_pareto(1.5, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            rng.bounded_pareto(1.5, 10.0, 1.0)
+
+    def test_lognormal_from_quantiles(self):
+        rng = RngRegistry(3).stream("lognorm")
+        samples = sorted(rng.lognormal_from_quantiles(10.0, 100.0)
+                         for _ in range(20000))
+        assert samples[10000] == pytest.approx(10.0, rel=0.1)
+        assert samples[19800] == pytest.approx(100.0, rel=0.2)
+
+    def test_lognormal_validation(self):
+        rng = RngRegistry(3).stream("l")
+        with pytest.raises(ValueError):
+            rng.lognormal_from_quantiles(10.0, 5.0)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mode == "hermes"
+        assert args.case == "case1"
+        assert args.workers == 8
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--mode", "reuseport", "--case", "case4",
+             "--load", "heavy", "--workers", "4", "--ports", "3"])
+        assert args.mode == "reuseport"
+        assert args.case == "case4"
+        assert args.ports == 3
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "bogus"])
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "case9"])
+
+    def test_experiment_names_validated(self):
+        args = build_parser().parse_args(["experiment", "table3"])
+        assert args.name == "table3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(["run", "--workers", "2", "--duration", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests completed" in out
+        assert "hermes" in out
+
+    def test_run_each_mode(self, capsys):
+        for mode in ("exclusive", "reuseport", "herd"):
+            rc = main(["run", "--mode", mode, "--workers", "2",
+                       "--duration", "0.3"])
+            assert rc == 0
+            assert mode in capsys.readouterr().out
+
+    def test_compare_prints_all_modes(self, capsys):
+        rc = main(["compare", "--workers", "2", "--duration", "0.5",
+                   "--case", "case1", "--load", "light"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for mode in ("exclusive", "reuseport", "hermes"):
+            assert mode in out
+
+    def test_list_experiments(self, capsys):
+        rc = main(["list-experiments"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_experiment_dispatch(self, capsys):
+        rc = main(["experiment", "table4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Region1" in out
+
+    def test_experiment_fig12(self, capsys):
+        rc = main(["experiment", "fig12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "peak reduction" in out

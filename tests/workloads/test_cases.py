@@ -1,0 +1,113 @@
+"""Tests for the four case definitions and region profiles."""
+
+import pytest
+
+from repro.sim import RngRegistry
+from repro.workloads import (
+    CASE_MIX,
+    CASES,
+    REGIONS,
+    build_case_workload,
+)
+
+
+class TestCaseDefinitions:
+    def test_all_four_cases_exist(self):
+        assert set(CASES) == {"case1", "case2", "case3", "case4"}
+
+    def test_cps_taxonomy(self):
+        """case1/2 are high-CPS; case3/4 low-CPS (for equal worker count)."""
+        n = 8
+        cps = {name: c.conn_rate(n, "light") for name, c in CASES.items()}
+        assert cps["case1"] > cps["case3"]
+        assert cps["case1"] > cps["case4"]
+        assert cps["case2"] > cps["case4"]
+
+    def test_processing_time_taxonomy(self):
+        """case2/4 have high mean processing time; case1/3 low."""
+        means = {name: c.exact_mean_service() for name, c in CASES.items()}
+        assert means["case2"] > 5 * means["case1"]
+        assert means["case4"] > 5 * means["case3"]
+
+    def test_load_multipliers(self):
+        case = CASES["case1"]
+        light = case.request_rate(8, "light")
+        assert case.request_rate(8, "medium") == pytest.approx(2 * light)
+        assert case.request_rate(8, "heavy") == pytest.approx(3 * light)
+
+    def test_rates_scale_with_workers(self):
+        case = CASES["case3"]
+        assert case.request_rate(16, "light") == \
+            pytest.approx(2 * case.request_rate(8, "light"))
+
+    def test_exact_mean_in_knot_range(self):
+        for case in CASES.values():
+            mean = case.exact_mean_service()
+            lo = case.service_knots[0][1]
+            hi = case.service_cap or case.service_knots[-1][1] * 1.5
+            assert lo / 4 <= mean <= hi
+
+
+class TestBuildWorkload:
+    def test_spec_fields(self):
+        spec = build_case_workload("case2", "medium", n_workers=8,
+                                   duration=5.0, ports=(100, 101))
+        assert spec.name == "case2-medium"
+        assert spec.duration == 5.0
+        assert spec.ports == (100, 101)
+        assert spec.requests_per_conn == CASES["case2"].requests_per_conn
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            build_case_workload("case1", "extreme", n_workers=8,
+                                duration=1.0)
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(KeyError):
+            build_case_workload("case9", "light", n_workers=8, duration=1.0)
+
+    def test_factory_samples_follow_case(self):
+        spec = build_case_workload("case4", "light", n_workers=8,
+                                   duration=1.0)
+        rng = RngRegistry(1).stream("t")
+        requests = [spec.factory.build(rng) for _ in range(300)]
+        totals = sorted(r.total_service for r in requests)
+        # Median near the case4 P50 knot (15 ms).
+        assert totals[150] == pytest.approx(0.015, rel=0.4)
+
+
+class TestCaseMix:
+    def test_rows_sum_to_100(self):
+        for region, mix in CASE_MIX.items():
+            assert sum(mix.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_paper_values_preserved(self):
+        assert CASE_MIX["Region4"]["case3"] == 89.07
+        assert CASE_MIX["Region2"]["case4"] == 82.13
+
+
+class TestRegions:
+    def test_four_regions(self):
+        assert set(REGIONS) == {"Region1", "Region2", "Region3", "Region4"}
+
+    def test_region3_websocket_tail(self):
+        """Region3's P99/P50 processing ratio is enormous (WebSockets)."""
+        profile = REGIONS["Region3"]
+        p50, _, p99 = profile.time_quantiles
+        assert p99 / p50 > 10000
+
+    def test_samplers_fit_quantiles(self):
+        rng = RngRegistry(2).stream("regions")
+        profile = REGIONS["Region1"]
+        sampler = profile.time_sampler()
+        samples = sorted(sampler.sample(rng) for _ in range(20000))
+        assert samples[10000] == pytest.approx(profile.time_quantiles[0],
+                                               rel=0.1)
+
+    def test_dominant_case(self):
+        assert REGIONS["Region2"].dominant_case() == "case4"
+        assert REGIONS["Region4"].dominant_case() == "case3"
+
+    def test_mix_matches_table4(self):
+        for name, profile in REGIONS.items():
+            assert profile.case_mix == CASE_MIX[name]

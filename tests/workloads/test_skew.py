@@ -1,0 +1,50 @@
+"""Tests for tenant skew weight helpers."""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_TOP3_REGION_A,
+    top_heavy_weights,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(10, 1.0)) == pytest.approx(1.0)
+
+    def test_descending(self):
+        weights = zipf_weights(10, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert all(w == pytest.approx(0.2) for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestTopHeavy:
+    def test_paper_shares(self):
+        weights = top_heavy_weights(10, PAPER_TOP3_REGION_A)
+        assert weights[0] == pytest.approx(0.40)
+        assert weights[1] == pytest.approx(0.28)
+        assert weights[2] == pytest.approx(0.22)
+        assert sum(weights) == pytest.approx(1.0)
+        # Remainder split evenly over the other seven.
+        assert all(w == pytest.approx(0.10 / 7) for w in weights[3:])
+
+    def test_fewer_tenants_than_shares(self):
+        weights = top_heavy_weights(2, (0.6, 0.2, 0.1))
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[0] > weights[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_heavy_weights(0)
+        with pytest.raises(ValueError):
+            top_heavy_weights(5, (0.9, 0.9))

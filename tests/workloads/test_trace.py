@@ -1,0 +1,90 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.kernel import FourTuple
+from repro.lb import LBServer, NotificationMode
+from repro.sim import Environment
+from repro.workloads import Trace, TraceReplayer
+
+
+def ft(i=0):
+    return FourTuple(0x0A000001 + i, 41000 + i, 0xC0A80001, 443)
+
+
+def sample_trace():
+    trace = Trace()
+    trace.record_open(0.0, 1, ft(1))
+    trace.record_request(0.1, 1, ft(1), event_times=[0.001], size=256)
+    trace.record_request(0.5, 1, ft(1), event_times=[0.002])
+    trace.record_close(0.8, 1, ft(1))
+    trace.record_open(0.2, 2, ft(2))
+    trace.record_request(0.3, 2, ft(2), event_times=[0.001])
+    trace.record_close(0.9, 2, ft(2))
+    return trace
+
+
+class TestTrace:
+    def test_duration(self):
+        assert sample_trace().duration == 0.9
+
+    def test_sorted_events(self):
+        events = sample_trace().sorted_events()
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_len(self):
+        assert len(sample_trace()) == 7
+
+    def test_empty_duration(self):
+        assert Trace().duration == 0.0
+
+
+class TestReplay:
+    def make_server(self):
+        env = Environment()
+        server = LBServer(env, n_workers=2, ports=[443],
+                          mode=NotificationMode.REUSEPORT)
+        server.start()
+        return env, server
+
+    def test_replay_at_original_rate(self):
+        env, server = self.make_server()
+        replayer = TraceReplayer(env, server, sample_trace(), rate=1.0)
+        replayer.start()
+        env.run(until=2.0)
+        assert replayer.finished
+        assert server.metrics.requests_completed == 3
+        assert replayer.replayed == 7
+        assert replayer.skipped == 0
+
+    def test_replay_at_double_rate_compresses_time(self):
+        env, server = self.make_server()
+        replayer = TraceReplayer(env, server, sample_trace(), rate=2.0)
+        replayer.start()
+        env.run(until=0.46)  # 0.9 / 2 = 0.45 — everything already replayed
+        assert replayer.finished
+
+    def test_request_without_open_is_skipped(self):
+        trace = Trace()
+        trace.record_request(0.1, 99, ft(9), event_times=[0.001])
+        env, server = self.make_server()
+        replayer = TraceReplayer(env, server, trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert replayer.skipped == 1
+
+    def test_invalid_rate(self):
+        env, server = self.make_server()
+        with pytest.raises(ValueError):
+            TraceReplayer(env, server, sample_trace(), rate=0.0)
+
+    def test_unknown_kind_raises(self):
+        from repro.workloads import TraceEvent
+        trace = Trace(events=[TraceEvent(0.0, "bogus", 1, ft())])
+        env, server = self.make_server()
+        replayer = TraceReplayer(env, server, trace)
+        replayer.start()
+        env.run(until=1.0)
+        # The replay process failed with ValueError.
+        assert not replayer._proc.ok
