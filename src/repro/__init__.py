@@ -23,16 +23,19 @@ Quickstart::
 
 from .core import HermesConfig
 from .lb import LBServer, NotificationMode, ServiceProfile
+from .obs import FlightRecorder, Tracer
 from .sim import Environment, RngRegistry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Environment",
+    "FlightRecorder",
     "HermesConfig",
     "LBServer",
     "NotificationMode",
     "RngRegistry",
     "ServiceProfile",
+    "Tracer",
     "__version__",
 ]

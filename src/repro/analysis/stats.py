@@ -35,7 +35,10 @@ def percentile(values: Sequence[float], p: float) -> float:
     if low == high:
         return data[low]
     frac = rank - low
-    return data[low] * (1 - frac) + data[high] * frac
+    # Clamp to the bracketing samples: the weighted sum can underflow
+    # below data[low] when both neighbours are subnormal.
+    value = data[low] * (1 - frac) + data[high] * frac
+    return min(max(value, data[low]), data[high])
 
 
 def cdf_points(values: Sequence[float],

@@ -3,13 +3,17 @@
 ::
 
     python -m repro run --mode hermes --case case2 --load medium
+    python -m repro run --mode hermes --case case2 --trace out.json
+    python -m repro trace --case case2 --load medium --out trace.json
     python -m repro compare --case case3 --load heavy
     python -m repro experiment table3
     python -m repro list-experiments
 
-``run`` drives one device in one mode; ``compare`` A/Bs all Table-3 modes
-on identical traffic; ``experiment`` executes a named paper experiment's
-standalone harness.
+``run`` drives one device in one mode (``--trace`` additionally records a
+Chrome/Perfetto trace); ``trace`` runs a scenario with full tracing and
+prints the per-request critical-path breakdown; ``compare`` A/Bs all
+Table-3 modes on identical traffic; ``experiment`` executes a named paper
+experiment's standalone harness.
 """
 
 from __future__ import annotations
@@ -37,6 +41,13 @@ _CASES = ("case1", "case2", "case3", "case4")
 _LOADS = ("light", "medium", "heavy")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,6 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ports", type=int, default=1,
                      help="number of tenant ports")
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record a Chrome/Perfetto trace to PATH")
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with full tracing and write a "
+                      "Perfetto-openable trace file")
+    trace.add_argument("--mode", default="hermes",
+                       choices=[m.value for m in NotificationMode])
+    trace.add_argument("--case", default="case2", choices=_CASES)
+    trace.add_argument("--load", default="medium", choices=_LOADS)
+    trace.add_argument("--workers", type=int, default=8)
+    trace.add_argument("--duration", type=float, default=2.0)
+    trace.add_argument("--ports", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.add_argument("--format", default="chrome",
+                       choices=("chrome", "jsonl"),
+                       help="chrome trace_event JSON (Perfetto) or JSONL")
+    trace.add_argument("--flight", type=_positive_int, metavar="N",
+                       default=None,
+                       help="flight-recorder mode: keep only the last N "
+                            "events instead of the full trace")
 
     compare = sub.add_parser(
         "compare", help="A/B all Table-3 modes on identical traffic")
@@ -77,10 +111,14 @@ def _cmd_run(args) -> int:
 
     mode = NotificationMode(args.mode)
     ports = tuple(20001 + i for i in range(args.ports))
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+        tracer = Tracer()
     result = run_case_cell(mode, args.case, args.load,
                            n_workers=args.workers,
                            duration=args.duration, ports=ports,
-                           seed=args.seed)
+                           seed=args.seed, tracer=tracer)
     print(render_table(
         ["metric", "value"],
         [["mode", result.mode],
@@ -94,6 +132,62 @@ def _cmd_run(args) -> int:
          ["cpu SD", f"{result.cpu_sd * 100:.2f}%"],
          ["accepted/worker", str(result.accepted_per_worker)]],
         title=f"{result.mode} on {result.workload}"))
+    if tracer is not None:
+        from .obs import write_chrome_trace
+        try:
+            n = write_chrome_trace(tracer.events, args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"trace: {n} events -> {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .experiments.common import run_case_cell
+    from .obs import (FlightRecorder, Tracer, build_timelines,
+                      summarize_timelines, write_chrome_trace, write_jsonl)
+
+    mode = NotificationMode(args.mode)
+    ports = tuple(20001 + i for i in range(args.ports))
+    recorder = None
+    if args.flight is not None:
+        recorder = FlightRecorder(capacity=args.flight)
+    tracer = Tracer(recorder=recorder, keep_events=recorder is None)
+    result = run_case_cell(mode, args.case, args.load,
+                           n_workers=args.workers, duration=args.duration,
+                           ports=ports, seed=args.seed, tracer=tracer)
+    events = recorder.snapshot() if recorder is not None else tracer.events
+    try:
+        if args.format == "chrome":
+            n = write_chrome_trace(events, args.out)
+        else:
+            n = write_jsonl(events, args.out)
+    except OSError as exc:
+        print(f"error: cannot write trace to {args.out}: {exc}",
+              file=sys.stderr)
+        return 1
+    summary = summarize_timelines(build_timelines(events))
+    rows = [["mode", result.mode],
+            ["workload", result.workload],
+            ["events traced", len(events)],
+            ["requests reassembled", summary["count"]],
+            ["avg latency (ms)", f"{summary['avg_latency'] * 1e3:.3f}"],
+            ["  kernel wait (ms)",
+             f"{summary['avg_kernel_wait'] * 1e3:.3f}"],
+            ["  queue wait (ms)", f"{summary['avg_queue_wait'] * 1e3:.3f}"],
+            ["  service (ms)", f"{summary['avg_service'] * 1e3:.3f}"]]
+    if recorder is not None:
+        rows.append(["flight recorder",
+                     f"kept {len(recorder)}/{recorder.capacity}, "
+                     f"saw {recorder.total_recorded}"])
+    print(render_table(["metric", "value"], rows,
+                       title=f"trace of {result.mode} on {result.workload}"))
+    print(f"trace: {n} records -> {args.out}"
+          + (" (open at https://ui.perfetto.dev)"
+             if args.format == "chrome" else ""))
     return 0
 
 
@@ -137,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "list-experiments": _cmd_list,

@@ -71,6 +71,9 @@ class CascadingScheduler:
         #: select a worker whose preallocated pool is full).
         self.capacity_limits: Optional[Tuple[Optional[int], ...]] = (
             tuple(capacity_limits) if capacity_limits is not None else None)
+        #: Optional :class:`repro.obs.Tracer`; emits one event per filter
+        #: stage with the dropped workers and reason (None = untraced).
+        self.tracer = None
         # -- statistics (Fig. 14) -------------------------------------------
         self.calls = 0
         self.pass_ratios = Samples("coarse_pass_ratio")
@@ -124,12 +127,22 @@ class CascadingScheduler:
         return [w for w in candidates
                 if limits[w] is None or snapshot.conns[w] < limits[w]]
 
+    #: Why each cascade stage drops a worker (trace drop reasons).
+    DROP_REASONS = {
+        "time": "loop-entry timestamp older than hang threshold",
+        "conn": "connection count above avg+theta",
+        "event": "pending event count above avg+theta",
+        "capacity": "connection pool full",
+    }
+
     # -- the full cascade ------------------------------------------------
     def select_workers(self, snapshot: WstSnapshot,
                        now: float) -> List[int]:
         """Run the cascade over a snapshot; returns surviving worker ids."""
+        tracer = self.tracer
         candidates = list(self.worker_ids)
         for stage in self.config.filter_order:
+            before = candidates
             if stage == "time":
                 candidates = self.filter_time(snapshot, candidates, now)
             elif stage == "conn":
@@ -140,12 +153,22 @@ class CascadingScheduler:
                 candidates = self.filter_capacity(snapshot, candidates)
             else:  # pragma: no cover - config validates
                 raise ValueError(f"unknown filter stage {stage!r}")
+            if tracer is not None:
+                dropped = [w for w in before if w not in candidates]
+                tracer.instant(
+                    "sched.filter", "sched", stage=stage, before=len(before),
+                    after=len(candidates), dropped=dropped,
+                    reason=self.DROP_REASONS[stage] if dropped else None)
         return candidates
 
     def schedule_and_sync(self) -> ScheduleResult:
         """One full run: read WST, cascade, sync bitmap to the kernel."""
         self.calls += 1
+        tracer = self.tracer
         now = self._clock()
+        if tracer is not None:
+            tracer.begin("sched.decision", "sched",
+                         n_workers=len(self.worker_ids))
         snapshot = self.wst.read_all()
         selected = self.select_workers(snapshot, now)
         # Bitmap bit positions are *local* ranks within this scheduler's
@@ -165,6 +188,9 @@ class CascadingScheduler:
             * (costs.wst_read_per_worker + costs.scheduler_per_worker)
             + costs.map_update_syscall
         )
+        if tracer is not None:
+            tracer.end("sched.decision", "sched", bitmap=bitmap,
+                       n_selected=n)
         return ScheduleResult(bitmap=bitmap, n_selected=n,
                               n_workers=len(self.worker_ids),
                               cpu_cost=cpu_cost)

@@ -61,12 +61,14 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
              profile: Optional[ServiceProfile] = None,
              settle: float = 0.5,
              keep_server: bool = False,
-             env_hook=None) -> CellResult:
+             env_hook=None, tracer=None) -> CellResult:
     """Run one workload spec against a fresh device in the given mode.
 
     ``settle`` extends the simulation beyond the generation window so
     in-flight requests can finish.  ``env_hook(env, server, gen)`` runs
     before the simulation starts (failure injection, probers, samplers).
+    ``tracer`` (a :class:`repro.obs.Tracer`) enables structured tracing of
+    the whole stack; it observes only and cannot change the results.
     """
     env = Environment()
     registry = RngRegistry(seed)
@@ -74,7 +76,8 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
         env, n_workers=n_workers,
         ports=list(ports) if ports is not None else list(spec.ports),
         mode=mode, config=config, profile=profile,
-        hash_seed=registry.stream("hash-seed").randrange(2 ** 32))
+        hash_seed=registry.stream("hash-seed").randrange(2 ** 32),
+        tracer=tracer)
     server.start()
     # The traffic stream is mode-independent: every mode replays the same
     # connections and requests.

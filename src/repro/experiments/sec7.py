@@ -18,7 +18,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import FlightRecorder
 
 from ..lb.backend import BackendPool
 from ..lb.server import LBServer, NotificationMode
@@ -122,17 +125,31 @@ class CrashBlastResult:
     total_connections: int
     connections_killed: int
     blast_fraction: float
+    #: Post-mortem dump (JSON-ready dicts) of the last events before and
+    #: during the crash, when a flight recorder was wired in; else None.
+    flight_events: Optional[List[dict]] = None
 
 
 def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
                     n_connections: int = 400, seed: int = 79,
+                    flight_recorder: Optional["FlightRecorder"] = None,
                     ) -> CrashBlastResult:
     """Establish long-lived connections, crash the busiest worker, count
-    how many connections die with it."""
+    how many connections die with it.
+
+    With ``flight_recorder`` set, the whole stack runs traced in
+    flight-only mode (bounded memory) and the recorder is dumped
+    automatically after the crash cleanup — the post-mortem workflow.
+    """
     env = Environment()
     registry = RngRegistry(seed)
+    tracer = None
+    if flight_recorder is not None:
+        from ..obs import Tracer
+        tracer = Tracer(recorder=flight_recorder, keep_events=False)
     server = LBServer(env, n_workers=n_workers, ports=[443], mode=mode,
-                      hash_seed=registry.stream("hash").randrange(2 ** 32))
+                      hash_seed=registry.stream("hash").randrange(2 ** 32),
+                      tracer=tracer)
     server.start()
     from ..workloads.distributions import FixedFactory
     from ..workloads.generator import WorkloadSpec
@@ -150,11 +167,16 @@ def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
     total = sum(counts)
     server.crash_worker(victim)
     killed = server.detect_and_clean_worker(victim)
+    # Post-mortem: dump the flight recorder right after the crash cleanup,
+    # so the dataclass carries the last-N events leading up to the failure.
+    flight = (flight_recorder.dump() if flight_recorder is not None
+              else None)
     return CrashBlastResult(
         mode=mode.value,
         total_connections=total,
         connections_killed=killed,
-        blast_fraction=killed / total if total else 0.0)
+        blast_fraction=killed / total if total else 0.0,
+        flight_events=flight)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

@@ -50,9 +50,14 @@ class Epoll:
     """An epoll instance bound to one worker."""
 
     def __init__(self, env: Environment, name: str = "",
-                 collect_stats: bool = True):
+                 collect_stats: bool = True, worker_id: Optional[int] = None,
+                 tracer=None):
         self.env = env
         self.name = name
+        #: Owning worker id, for trace attribution (None = unknown).
+        self.worker_id = worker_id
+        #: Optional :class:`repro.obs.Tracer` (None = untraced).
+        self.tracer = tracer
         self._interest: Dict[object, _Interest] = {}
         #: fd -> accumulated ready mask (insertion ordered, like the kernel's
         #: ready list).
@@ -110,11 +115,16 @@ class Epoll:
         fd = entry.owner
         mask = key if key else EPOLLIN
         self._ready[fd] = self._ready.get(fd, 0) | mask
+        woke = False
         if self._sleeper is not None and not self._sleeper.triggered:
             self.total_wakeups += 1
             self._sleeper.succeed()
-            return True
-        return False
+            woke = True
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("epoll.wakeup", "kernel", worker=self.worker_id,
+                           woke=woke, mask=mask)
+        return woke
 
     # -- userspace-side wait path ------------------------------------------
     def _harvest(self, max_events: int) -> List[EpollEvent]:
@@ -154,13 +164,20 @@ class Epoll:
         syscall returning 0).
         """
         self.total_waits += 1
+        tracer = self.tracer
         events = self._harvest(max_events)
         if events or timeout == 0:
             if self.collect_stats:
                 self.events_per_wait.add(len(events))
                 self.blocking_times.add(0.0)
+            if tracer is not None:
+                tracer.instant("epoll.dispatch", "worker",
+                               worker=self.worker_id, n_events=len(events),
+                               blocked=0.0)
             return events
         entered = self.env.now
+        if tracer is not None:
+            tracer.begin("epoll.wait", "worker", worker=self.worker_id)
         self._sleeper = self.env.event()
         yield self._sleeper | self.env.timeout(timeout)
         self._sleeper = None
@@ -168,6 +185,11 @@ class Epoll:
         if self.collect_stats:
             self.events_per_wait.add(len(events))
             self.blocking_times.add(self.env.now - entered)
+        if tracer is not None:
+            tracer.end("epoll.wait", "worker", worker=self.worker_id)
+            tracer.instant("epoll.dispatch", "worker",
+                           worker=self.worker_id, n_events=len(events),
+                           blocked=self.env.now - entered)
         return events
 
     def close(self) -> None:

@@ -49,12 +49,14 @@ class SocketSelector(Protocol):
 class ReuseportGroup:
     """All sockets bound to one port with SO_REUSEPORT."""
 
-    def __init__(self, port: int, hash_seed: int = 0):
+    def __init__(self, port: int, hash_seed: int = 0, tracer=None):
         self.port = port
         self.hash_seed = hash_seed
         #: The kernel's socks[] array; index order is bind order.
         self.sockets: List[ListeningSocket] = []
         self._program: Optional[SocketSelector] = None
+        #: Optional :class:`repro.obs.Tracer` (None = untraced).
+        self.tracer = tracer
         # -- statistics -----------------------------------------------------
         self.selected_by_program = 0
         self.selected_by_hash = 0
@@ -95,10 +97,17 @@ class ReuseportGroup:
         on decline or invalid result, fall back to hash selection over the
         socket array.  Returns None only when the group is empty.
         """
+        tracer = self.tracer
         open_sockets = [s for s in self.sockets if not s.closed]
         if not open_sockets:
+            if tracer is not None:
+                tracer.instant("reuseport.select", "kernel", port=self.port,
+                               via="none")
             return None
         flow_hash = self.flow_hash(four_tuple)
+        if tracer is not None:
+            tracer.begin("reuseport.select", "kernel", port=self.port,
+                         hash=flow_hash, num_socks=len(self.sockets))
         if self._program is not None:
             ctx = ReuseportContext(flow_hash, four_tuple, len(self.sockets))
             index = self._program.run(ctx)
@@ -106,7 +115,19 @@ class ReuseportGroup:
                 candidate = self.sockets[index]
                 if not candidate.closed:
                     self.selected_by_program += 1
+                    if tracer is not None:
+                        tracer.end(
+                            "reuseport.select", "kernel", via="program",
+                            socket=candidate.id,
+                            selected_worker=getattr(
+                                candidate.owner, "worker_id", None))
                     return candidate
             self.program_fallbacks += 1
         self.selected_by_hash += 1
-        return open_sockets[reciprocal_scale(flow_hash, len(open_sockets))]
+        chosen = open_sockets[reciprocal_scale(flow_hash, len(open_sockets))]
+        if tracer is not None:
+            tracer.end("reuseport.select", "kernel", via="hash",
+                       fallback=self._program is not None, socket=chosen.id,
+                       selected_worker=getattr(chosen.owner, "worker_id",
+                                               None))
+        return chosen

@@ -191,11 +191,15 @@ class NetStack:
     """The kernel network stack of one LB device."""
 
     def __init__(self, env: Environment, hash_seed: int = 0,
-                 handshake_delay: float = 0.0, nic: Optional[Nic] = None):
+                 handshake_delay: float = 0.0, nic: Optional[Nic] = None,
+                 tracer=None):
         self.env = env
         self.hash_seed = hash_seed
         self.handshake_delay = handshake_delay
         self.nic = nic
+        #: Optional :class:`repro.obs.Tracer`, propagated into every
+        #: socket/group this stack creates (None = untraced).
+        self.tracer = tracer
         self.bindings: dict[int, PortBinding] = {}
         # -- statistics -----------------------------------------------------
         self.total_syns = 0
@@ -219,6 +223,7 @@ class NetStack:
         if backlog is not None:
             kwargs["backlog"] = backlog
         socket = ListeningSocket(port, **kwargs)
+        socket.wait_queue.tracer = self.tracer
         self.bindings[port] = PortBinding(port=port, shared=socket)
         return socket
 
@@ -231,7 +236,8 @@ class NetStack:
         binding = self.bindings.get(port)
         if binding is None:
             binding = PortBinding(
-                port=port, group=ReuseportGroup(port, self.hash_seed))
+                port=port, group=ReuseportGroup(port, self.hash_seed,
+                                                tracer=self.tracer))
             self.bindings[port] = binding
         elif binding.group is None:
             raise ValueError(f"port {port} is bound without SO_REUSEPORT")
@@ -239,6 +245,7 @@ class NetStack:
         if backlog is not None:
             kwargs["backlog"] = backlog
         socket = ListeningSocket(port, **kwargs)
+        socket.wait_queue.tracer = self.tracer
         binding.group.add(socket)
         return socket
 
@@ -266,6 +273,21 @@ class NetStack:
         Returns False when the connection is refused (unbound port or
         backlog overflow); the connection is marked REFUSED.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            # Scope the synchronous SYN chain (reuseport selection,
+            # accept-queue wake, epoll callback) to this connection's id.
+            with tracer.ctx.scope(conn=connection.id):
+                tracer.instant("conn.syn", "net", port=connection.port,
+                               tenant=connection.tenant_id)
+                accepted = self._connect(connection)
+                if not accepted:
+                    tracer.instant("conn.refused", "net",
+                                   reason=connection.reset_reason)
+                return accepted
+        return self._connect(connection)
+
+    def _connect(self, connection: Connection) -> bool:
         self.total_syns += 1
         if self.nic is not None:
             self.nic.receive(connection.four_tuple)
@@ -292,6 +314,16 @@ class NetStack:
 
     def _finish_handshake(self, connection: Connection,
                           socket: ListeningSocket) -> bool:
+        tracer = self.tracer
+        if tracer is not None and "conn" not in tracer.ctx.current:
+            # Delayed handshakes fire from a callback outside connect()'s
+            # scope; re-establish the connection context for the wake chain.
+            with tracer.ctx.scope(conn=connection.id):
+                return self._enqueue_handshake(connection, socket)
+        return self._enqueue_handshake(connection, socket)
+
+    def _enqueue_handshake(self, connection: Connection,
+                           socket: ListeningSocket) -> bool:
         if not socket.enqueue(connection):
             connection.state = ConnState.REFUSED
             connection.reset_reason = "accept queue overflow"
@@ -305,4 +337,12 @@ class NetStack:
         if self.nic is not None:
             self.nic.receive(connection.four_tuple)
         request.tenant_id = connection.tenant_id
-        connection.deliver_request(request, self.env.now)
+        tracer = self.tracer
+        if tracer is None:
+            connection.deliver_request(request, self.env.now)
+            return
+        rid = tracer.request_id(request)
+        with tracer.ctx.scope(conn=connection.id, request=rid):
+            tracer.instant("request.arrival", "net", n_events=request.n_events,
+                           size=request.size_bytes)
+            connection.deliver_request(request, self.env.now)

@@ -83,6 +83,9 @@ class WaitQueue:
         self.insertion = insertion
         #: Wakeup statistics, indexable by entry owner for experiments.
         self.wake_calls = 0
+        #: Optional :class:`repro.obs.Tracer`; set by whoever wires the
+        #: socket (None = untraced, zero overhead).
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -134,12 +137,18 @@ class WaitQueue:
         walking to find a sleeping waiter.
         """
         self.wake_calls += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("wait.wake", "kernel", waiters=len(self._entries),
+                         nr_exclusive=nr_exclusive)
         woken: List[WaitEntry] = []
+        walked = 0
         remaining = nr_exclusive
         rotated: List[WaitEntry] = []
         for entry in list(self._entries):
             if entry.queue is not self:
                 continue  # removed by an earlier callback
+            walked += 1
             success = entry.func(entry, key)
             if success:
                 woken.append(entry)
@@ -153,4 +162,7 @@ class WaitQueue:
             if entry.queue is self:
                 self._entries.remove(entry)
                 self._entries.append(entry)
+        if tracer is not None:
+            tracer.end("wait.wake", "kernel", walked=walked,
+                       woken=len(woken))
         return woken

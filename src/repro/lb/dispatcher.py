@@ -73,6 +73,13 @@ class DispatcherWorker(Worker):
             self.device.record_failure()
             return
         fd = conn.mark_accepted(target, self.env.now)
+        tracer = self.tracer
+        if tracer is not None:
+            fd.wait_queue.tracer = tracer
+            tracer.instant("dispatch.handoff", "worker",
+                           worker=self.worker_id, conn=conn.id,
+                           target=target.worker_id,
+                           target_conns=len(target.conns))
         target.epoll.ctl_add(
             fd, edge_triggered=target.profile.edge_triggered)
         target.conns[fd] = conn

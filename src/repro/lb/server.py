@@ -68,7 +68,7 @@ class LBServer:
                  hash_seed: int = 0, nic: Optional[Nic] = None,
                  group_key_mode: str = "four_tuple",
                  stagger_registration: bool = False,
-                 name: str = "lb"):
+                 name: str = "lb", tracer=None):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if not ports:
@@ -79,7 +79,14 @@ class LBServer:
         self.ports = list(ports)
         self.config = config or HermesConfig()
         self.profile = profile or ServiceProfile()
-        self.stack = NetStack(env, hash_seed=hash_seed, nic=nic)
+        #: Optional :class:`repro.obs.Tracer`, propagated to every layer
+        #: (kernel stack, epolls, workers, schedulers).  None = untraced,
+        #: and the simulation is bit-identical to an uninstrumented run.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(env)
+        self.stack = NetStack(env, hash_seed=hash_seed, nic=nic,
+                              tracer=tracer)
         self.metrics = DeviceMetrics(env)
         self.groups: List[HermesGroup] = []
         self.dispatch_program = None
@@ -91,7 +98,8 @@ class LBServer:
         if dispatcher_mode and n_workers < 2:
             raise ValueError("dispatcher mode needs >= 2 workers")
         for worker_id in range(n_workers):
-            epoll = Epoll(env, name=f"{name}.w{worker_id}")
+            epoll = Epoll(env, name=f"{name}.w{worker_id}",
+                          worker_id=worker_id, tracer=tracer)
             worker_metrics = self.metrics.register_worker(worker_id)
             if dispatcher_mode and worker_id == 0:
                 from .dispatcher import DispatcherWorker
@@ -102,6 +110,7 @@ class LBServer:
                 self.workers.append(Worker(
                     env, worker_id, epoll, worker_metrics, self.metrics,
                     profile=self.profile, config=self.config))
+            self.workers[-1].tracer = tracer
 
         if mode is NotificationMode.HERMES:
             self._setup_hermes(group_key_mode)
@@ -156,6 +165,7 @@ class LBServer:
             capacity_limits=capacity)
         # Per-group schedulers need the sim clock; build_groups wired it.
         for group in self.groups:
+            group.scheduler.tracer = self.tracer
             for rank, worker_id in enumerate(group.worker_ids):
                 self.workers[worker_id].hermes = HermesBinding(
                     group=group, rank=rank)
@@ -214,6 +224,9 @@ class LBServer:
         cleanup (``cleanup_delay`` seconds later; None = never), modelling
         the probe-based failure-detection window."""
         worker = self.workers[worker_id]
+        if self.tracer is not None:
+            self.tracer.instant("worker.crash", "worker", worker=worker_id,
+                                conns=len(worker.conns))
         worker.crash()
         if cleanup_delay is not None:
             self.env.schedule_callback(
@@ -237,6 +250,9 @@ class LBServer:
             self.metrics.record_failure()
         worker.conns.clear()
         worker.metrics.connections.set(0)
+        if self.tracer is not None:
+            self.tracer.instant("worker.cleanup", "worker", worker=worker_id,
+                                blast_radius=blast)
         return blast
 
     # -- introspection -----------------------------------------------------------

@@ -88,7 +88,8 @@ class Worker:
                  metrics: WorkerMetrics, device: DeviceMetrics,
                  profile: Optional[ServiceProfile] = None,
                  config: Optional[HermesConfig] = None,
-                 hermes: Optional[HermesBinding] = None):
+                 hermes: Optional[HermesBinding] = None,
+                 tracer=None):
         self.env = env
         self.worker_id = worker_id
         self.epoll = epoll
@@ -97,6 +98,8 @@ class Worker:
         self.profile = profile or ServiceProfile()
         self.config = config or HermesConfig()
         self.hermes = hermes
+        #: Optional :class:`repro.obs.Tracer` (None = untraced).
+        self.tracer = tracer
         self.state = WorkerState.RUNNING
         #: Listening sockets this worker watches (set by the server).
         self.listen_socks: Set[ListeningSocket] = set()
@@ -201,7 +204,14 @@ class Worker:
     def _hermes_schedule(self) -> None:
         if self.hermes is None:
             return
-        result = self.hermes.group.scheduler.schedule_and_sync()
+        tracer = self.tracer
+        if tracer is not None:
+            # The cascade runs synchronously inside this loop iteration;
+            # tag its filter-stage events with the worker that ran it.
+            with tracer.ctx.scope(worker=self.worker_id):
+                result = self.hermes.group.scheduler.schedule_and_sync()
+        else:
+            result = self.hermes.group.scheduler.schedule_and_sync()
         if self.config.charge_overhead:
             self._pending_charge += result.cpu_cost
 
@@ -258,10 +268,14 @@ class Worker:
 
     def _accept_handler(self, sock: ListeningSocket):
         """``accept_handler`` of Fig. 9: one accept per readiness event."""
+        tracer = self.tracer
         conn = sock.accept()
         if conn is None:
             # EAGAIN: another worker drained the queue first — a wasted
             # syscall and wakeup.
+            if tracer is not None:
+                tracer.instant("accept.miss", "worker",
+                               worker=self.worker_id, socket=sock.id)
             if self.profile.accept_miss_cost > 0:
                 yield from self._busy(self.profile.accept_miss_cost)
             return
@@ -277,6 +291,13 @@ class Worker:
             return
         yield from self._busy(self.profile.accept_cost)
         fd = conn.mark_accepted(self, self.env.now)
+        if tracer is not None:
+            # The conn fd's wake chain belongs to this trace from now on.
+            fd.wait_queue.tracer = tracer
+            tracer.instant("conn.accept", "worker", worker=self.worker_id,
+                           conn=conn.id,
+                           queue_delay=self.env.now - (conn.established_time
+                                                       or self.env.now))
         self.epoll.ctl_add(fd, edge_triggered=self.profile.edge_triggered)
         self.conns[fd] = conn
         self.metrics.accepted += 1
@@ -311,17 +332,30 @@ class Worker:
 
     def _process_request_event(self, conn: Connection, request: Request):
         """Run one event of a request to completion on this core."""
+        tracer = self.tracer
         service = request.event_times[request.next_event]
         if request.start_service_time < 0:
             request.start_service_time = self.env.now
+        if tracer is not None:
+            rid = tracer.request_id(request)
+            tracer.begin("request.service", "worker", worker=self.worker_id,
+                         conn=conn.id, request=rid,
+                         event_index=request.next_event)
         yield from self._busy(service)
         request.next_event += 1
         self.metrics.events_processed += 1
         self.metrics.event_processing_times.add(service)
+        if tracer is not None:
+            tracer.end("request.service", "worker", worker=self.worker_id,
+                       conn=conn.id, request=rid)
         if request.done:
             request.completed_time = self.env.now
             conn.inbox.remove(request)
             conn.requests_completed += 1
+            if tracer is not None:
+                tracer.instant("request.complete", "worker",
+                               worker=self.worker_id, conn=conn.id,
+                               request=rid, latency=request.latency)
             self.device.record_request(request.latency, self.worker_id,
                                        tenant_id=request.tenant_id)
 
@@ -330,6 +364,10 @@ class Worker:
         if fd is None or fd not in self.conns:
             return
         yield from self._busy(self.profile.close_cost)
+        if self.tracer is not None:
+            self.tracer.instant("conn.close", "worker",
+                                worker=self.worker_id, conn=conn.id,
+                                failed=failed)
         if self.epoll.watches(fd):
             self.epoll.ctl_del(fd)
         del self.conns[fd]

@@ -1,0 +1,121 @@
+"""Trace export: Chrome/Perfetto ``trace_event`` JSON and plain JSONL.
+
+The Chrome format (the "Trace Event Format" consumed by ``chrome://tracing``
+and https://ui.perfetto.dev) maps naturally onto our events: each worker is
+a ``tid`` on one ``pid`` (the device), kernel-side events land on a
+dedicated pseudo-thread, and timestamps are microseconds.
+
+``write_chrome_trace(tracer.events, "out.json")`` produces a file Perfetto
+opens directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .trace import TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "KERNEL_TID",
+]
+
+#: Pseudo-tid for events with no owning worker (kernel-side machinery).
+KERNEL_TID = 0
+
+#: Simulation seconds -> exported microseconds.
+TIME_SCALE = 1e6
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """A flat JSON-ready dict of one event (the JSONL record shape)."""
+    record: Dict[str, Any] = {
+        "seq": event.seq,
+        "ts": event.ts,
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.phase,
+    }
+    if event.worker is not None:
+        record["worker"] = event.worker
+    if event.conn is not None:
+        record["conn"] = event.conn
+    if event.request is not None:
+        record["request"] = event.request
+    if event.fields:
+        record.update(event.fields)
+    return record
+
+
+def _chrome_args(event: TraceEvent) -> Dict[str, Any]:
+    args: Dict[str, Any] = {}
+    if event.conn is not None:
+        args["conn"] = event.conn
+    if event.request is not None:
+        args["request"] = event.request
+    if event.fields:
+        args.update(event.fields)
+    return args
+
+
+def to_chrome_trace(events: Iterable[TraceEvent], pid: int = 1,
+                    device: str = "lb") -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from events.
+
+    Workers become threads (``tid = worker_id + 1``); kernel-side events
+    (no worker) share :data:`KERNEL_TID`.  Thread-name metadata rows make
+    the Perfetto track labels readable.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    tids_seen = set()
+    for event in events:
+        tid = KERNEL_TID if event.worker is None else event.worker + 1
+        tids_seen.add(tid)
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.phase,
+            "ts": event.ts * TIME_SCALE,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        args = _chrome_args(event)
+        if args:
+            record["args"] = args
+        trace_events.append(record)
+    meta = []
+    for tid in sorted(tids_seen):
+        name = "kernel" if tid == KERNEL_TID else f"worker{tid - 1}"
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": name}})
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"device": device, "clock": "simulated-seconds*1e6"},
+    }
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str,
+                       pid: int = 1, device: str = "lb") -> int:
+    """Write a Perfetto-openable JSON file; returns the event count."""
+    document = to_chrome_trace(events, pid=pid, device=device)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """One JSON record per line (the flight-recorder dump format)."""
+    n = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event)))
+            handle.write("\n")
+            n += 1
+    return n

@@ -22,12 +22,22 @@ class Samples:
     def __init__(self, name: str = ""):
         self.name = name
         self.values: List[float] = []
+        # Cached sorted copy; invalidated on mutation so repeated
+        # percentile/CDF queries don't re-sort an unchanged accumulator.
+        self._sorted: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
         self.values.append(float(value))
+        self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
         self.values.extend(float(v) for v in values)
+        self._sorted = None
+
+    def _sorted_values(self) -> List[float]:
+        if self._sorted is None or len(self._sorted) != len(self.values):
+            self._sorted = sorted(self.values)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self.values)
@@ -50,7 +60,7 @@ class Samples:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        data = sorted(self.values)
+        data = self._sorted_values()
         if len(data) == 1:
             return data[0]
         rank = (p / 100) * (len(data) - 1)
@@ -59,7 +69,10 @@ class Samples:
         if low == high:
             return data[low]
         frac = rank - low
-        return data[low] * (1 - frac) + data[high] * frac
+        # Clamp to the bracketing samples: the weighted sum can underflow
+        # below data[low] when both neighbours are subnormal.
+        value = data[low] * (1 - frac) + data[high] * frac
+        return min(max(value, data[low]), data[high])
 
     @property
     def p50(self) -> float:
@@ -89,7 +102,7 @@ class Samples:
         """(value, cumulative fraction) pairs for plotting a CDF."""
         if not self.values:
             return []
-        data = sorted(self.values)
+        data = self._sorted_values()
         n = len(data)
         step = max(1, n // points)
         out = [(data[i], (i + 1) / n) for i in range(0, n, step)]
@@ -137,7 +150,9 @@ class TimeWeighted:
         elapsed = end - self._start
         if elapsed <= 0:
             return self._level
-        area = self._area + self._level * (end - self._last_change)
+        # Clamp the open interval: an `until` before the last set() must
+        # not subtract area that was integrated at the old level.
+        area = self._area + self._level * max(0.0, end - self._last_change)
         return area / elapsed
 
 
@@ -202,7 +217,12 @@ class BusyTracker:
                     return b0
                 frac = (when - t0) / (t1 - t0)
                 return b0 + frac * (b1 - b0)
-        return points[-1][1]
+        # Past the final checkpoint: extrapolate through any in-progress
+        # busy interval.  busy_time() - (now - when) is exact when the
+        # tracker has been continuously busy over [when, now], and a lower
+        # bound (clamped by the last checkpoint) otherwise.
+        return max(points[-1][1],
+                   self.busy_time() - (self.env.now - when))
 
 
 class PeriodicSampler:

@@ -1,0 +1,82 @@
+"""Tests for the bounded flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, Tracer
+
+
+class Clock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+
+def _fill(recorder: FlightRecorder, n: int) -> Tracer:
+    clock = Clock()
+    tracer = Tracer(env=clock, recorder=recorder, keep_events=False)
+    for i in range(n):
+        clock.now = i * 0.001
+        tracer.instant("tick", worker=i % 4, index=i)
+    return tracer
+
+
+class TestRingSemantics:
+    def test_retains_exactly_last_n(self):
+        recorder = FlightRecorder(capacity=16)
+        _fill(recorder, 1000)
+        assert len(recorder) == 16
+        kept = recorder.snapshot()
+        assert [e.fields["index"] for e in kept] == list(range(984, 1000))
+
+    def test_under_capacity_keeps_everything(self):
+        recorder = FlightRecorder(capacity=100)
+        _fill(recorder, 7)
+        assert len(recorder) == 7
+        assert recorder.overwritten == 0
+
+    def test_total_and_overwritten_counters(self):
+        recorder = FlightRecorder(capacity=10)
+        _fill(recorder, 35)
+        assert recorder.total_recorded == 35
+        assert recorder.overwritten == 25
+
+    def test_capacity_one(self):
+        recorder = FlightRecorder(capacity=1)
+        _fill(recorder, 5)
+        assert len(recorder) == 1
+        assert recorder.snapshot()[0].fields["index"] == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clear(self):
+        recorder = FlightRecorder(capacity=8)
+        _fill(recorder, 5)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.snapshot() == []
+
+
+class TestDump:
+    def test_dump_is_json_ready_oldest_first(self):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 10)
+        dump = recorder.dump()
+        assert len(dump) == 4
+        assert [d["index"] for d in dump] == [6, 7, 8, 9]
+        for record in dump:
+            json.dumps(record)  # must not raise
+            assert record["name"] == "tick"
+            assert record["ph"] == "i"
+
+    def test_write_jsonl(self, tmp_path):
+        recorder = FlightRecorder(capacity=8)
+        _fill(recorder, 20)
+        path = tmp_path / "flight.jsonl"
+        n = recorder.write(str(path))
+        assert n == 8
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 8
+        assert json.loads(lines[-1])["index"] == 19

@@ -1,0 +1,192 @@
+"""Tests for span reassembly, critical-path decomposition, and export."""
+
+import json
+
+from repro.obs import (CAT_KERNEL, CAT_NET, CAT_WORKER, Tracer,
+                       build_timelines, event_to_dict, summarize_timelines,
+                       to_chrome_trace, write_chrome_trace)
+from repro.obs.export import KERNEL_TID, TIME_SCALE
+
+
+class Clock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+
+def _synthetic_request(tracer, clock, rid, conn, worker,
+                       arrival, dispatch, start, end):
+    """Emit the minimal event set for one request's lifecycle."""
+    clock.now = arrival
+    tracer.instant("request.arrival", CAT_NET, conn=conn, request=rid)
+    clock.now = dispatch
+    tracer.instant("epoll.dispatch", CAT_WORKER, worker=worker, n_events=1)
+    clock.now = start
+    tracer.begin("request.service", CAT_WORKER, worker=worker, conn=conn,
+                 request=rid)
+    clock.now = end
+    tracer.end("request.service", CAT_WORKER, worker=worker, conn=conn,
+               request=rid)
+    tracer.instant("request.complete", CAT_WORKER, worker=worker, conn=conn,
+                   request=rid, latency=end - arrival)
+
+
+class TestReassembly:
+    def test_single_request_breakdown_sums_exactly(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        _synthetic_request(tracer, clock, rid=1, conn=10, worker=0,
+                           arrival=1.0, dispatch=1.5, start=1.6, end=1.8)
+        (tl,) = build_timelines(tracer.events)
+        assert tl.request == 1
+        assert tl.conn == 10
+        assert tl.worker == 0
+        assert tl.complete
+        assert abs(tl.latency - 0.8) < 1e-12
+        assert abs(tl.kernel_wait - 0.5) < 1e-12
+        assert abs(tl.service_time - 0.2) < 1e-12
+        assert abs(tl.queue_wait - 0.1) < 1e-12
+        parts = tl.breakdown()
+        assert abs(parts["kernel_wait"] + parts["queue_wait"]
+                   + parts["service"] - parts["latency"]) < 1e-9
+
+    def test_dispatch_resolves_latest_before_service(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        # Two epoll batches on worker 0; the request's service starts after
+        # the second, so kernel wait must extend to the *second* dispatch.
+        clock.now = 0.0
+        tracer.instant("request.arrival", CAT_NET, conn=1, request=1)
+        clock.now = 0.2
+        tracer.instant("epoll.dispatch", CAT_WORKER, worker=0)
+        clock.now = 0.6
+        tracer.instant("epoll.dispatch", CAT_WORKER, worker=0)
+        clock.now = 0.7
+        tracer.begin("request.service", CAT_WORKER, worker=0, request=1)
+        clock.now = 0.9
+        tracer.end("request.service", CAT_WORKER, worker=0, request=1)
+        tracer.instant("request.complete", CAT_WORKER, request=1)
+        (tl,) = build_timelines(tracer.events)
+        assert abs(tl.dispatch - 0.6) < 1e-12
+        assert abs(tl.kernel_wait - 0.6) < 1e-12
+
+    def test_missing_dispatch_falls_back_to_service_start(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        clock.now = 0.0
+        tracer.instant("request.arrival", CAT_NET, request=1)
+        clock.now = 0.3
+        tracer.begin("request.service", CAT_WORKER, worker=2, request=1)
+        clock.now = 0.4
+        tracer.end("request.service", CAT_WORKER, worker=2, request=1)
+        tracer.instant("request.complete", CAT_WORKER, request=1)
+        (tl,) = build_timelines(tracer.events)
+        assert tl.dispatch is None
+        assert abs(tl.kernel_wait - 0.3) < 1e-12
+        assert abs(tl.queue_wait) < 1e-12
+
+    def test_multi_segment_service(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        clock.now = 0.0
+        tracer.instant("request.arrival", CAT_NET, request=1)
+        for begin, end in [(0.1, 0.2), (0.5, 0.7)]:
+            clock.now = begin
+            tracer.begin("request.service", CAT_WORKER, worker=0, request=1)
+            clock.now = end
+            tracer.end("request.service", CAT_WORKER, worker=0, request=1)
+        tracer.instant("request.complete", CAT_WORKER, request=1)
+        (tl,) = build_timelines(tracer.events)
+        assert len(tl.segments) == 2
+        assert abs(tl.service_time - 0.3) < 1e-12
+        # Gap between segments counts as queue wait.
+        assert abs(tl.queue_wait - 0.3) < 1e-12
+
+    def test_incomplete_requests_filtered_unless_asked(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        tracer.instant("request.arrival", CAT_NET, request=1)  # never served
+        assert build_timelines(tracer.events) == []
+        (tl,) = build_timelines(tracer.events, include_incomplete=True)
+        assert not tl.complete
+
+    def test_interleaved_requests_not_mispaired(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        _synthetic_request(tracer, clock, rid=1, conn=1, worker=0,
+                           arrival=0.0, dispatch=0.1, start=0.2, end=0.5)
+        _synthetic_request(tracer, clock, rid=2, conn=2, worker=1,
+                           arrival=0.1, dispatch=0.3, start=0.35, end=0.4)
+        timelines = build_timelines(tracer.events)
+        assert [tl.request for tl in timelines] == [1, 2]
+        assert [tl.worker for tl in timelines] == [0, 1]
+        for tl in timelines:
+            assert abs(tl.kernel_wait + tl.queue_wait + tl.service_time
+                       - tl.latency) < 1e-9
+
+    def test_summarize(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        _synthetic_request(tracer, clock, rid=1, conn=1, worker=0,
+                           arrival=0.0, dispatch=0.5, start=0.5, end=1.0)
+        summary = summarize_timelines(build_timelines(tracer.events))
+        assert summary["count"] == 1
+        assert abs(summary["avg_latency"] - 1.0) < 1e-12
+        assert abs(summary["avg_kernel_wait"] - 0.5) < 1e-12
+        assert abs(summary["avg_service"] - 0.5) < 1e-12
+
+    def test_summarize_empty(self):
+        assert summarize_timelines([])["count"] == 0
+
+
+class TestExport:
+    def _trace(self):
+        clock = Clock()
+        tracer = Tracer(env=clock)
+        _synthetic_request(tracer, clock, rid=1, conn=7, worker=2,
+                           arrival=0.001, dispatch=0.002, start=0.003,
+                           end=0.004)
+        clock.now = 0.005
+        tracer.instant("wait.wake", CAT_KERNEL, waiters=3)  # kernel-side
+        return tracer
+
+    def test_chrome_document_shape(self):
+        document = to_chrome_trace(self._trace().events)
+        json.dumps(document)  # must serialize
+        assert document["displayTimeUnit"] == "ms"
+        rows = document["traceEvents"]
+        meta = [r for r in rows if r["ph"] == "M"]
+        body = [r for r in rows if r["ph"] != "M"]
+        assert {m["args"]["name"] for m in meta} == {"kernel", "worker2"}
+        # Worker events on tid worker+1; kernel-side events on tid 0.
+        service = [r for r in body if r["name"] == "request.service"]
+        assert all(r["tid"] == 3 for r in service)
+        wake = [r for r in body if r["name"] == "wait.wake"]
+        assert wake[0]["tid"] == KERNEL_TID
+        # B/E balance per name and scaled timestamps.
+        assert [r["ph"] for r in service] == ["B", "E"]
+        assert service[0]["ts"] == 0.003 * TIME_SCALE
+        for r in body:
+            if r["ph"] == "i":
+                assert r["s"] == "t"
+
+    def test_args_carry_ids_and_fields(self):
+        document = to_chrome_trace(self._trace().events)
+        arrival = next(r for r in document["traceEvents"]
+                       if r.get("name") == "request.arrival")
+        assert arrival["args"]["conn"] == 7
+        assert arrival["args"]["request"] == 1
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        tracer = self._trace()
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(tracer.events, str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == n
+        assert n == len(tracer.events) + 2  # + two thread_name meta rows
+
+    def test_event_to_dict_flat(self):
+        event = self._trace().events[0]
+        record = event_to_dict(event)
+        assert record["name"] == "request.arrival"
+        assert record["conn"] == 7
+        assert record["ts"] == 0.001

@@ -60,6 +60,40 @@ class TestSamples:
         assert s.p99 <= s.p999 + eps
         assert s.p999 <= s.maximum + eps
 
+    def test_sorted_cache_invalidated_by_add(self):
+        s = Samples()
+        s.extend([5, 1, 3])
+        assert s.p50 == 3.0  # populates the cache
+        s.add(0)
+        assert s.minimum == 0.0
+        assert s.percentile(0) == 0.0
+        s.extend([10, 20])
+        assert s.percentile(100) == 20.0
+
+    def test_sorted_cache_reused_between_queries(self):
+        s = Samples()
+        s.extend(range(100))
+        first = s._sorted_values()
+        assert s._sorted_values() is first  # no re-sort, same list object
+        s.add(-1)
+        assert s._sorted_values() is not first
+
+    def test_sorted_cache_survives_direct_values_mutation(self):
+        # `values` is a public attribute some call sites extend directly;
+        # the length guard must catch that and re-sort.
+        s = Samples()
+        s.extend([3, 1])
+        assert s.p50 == 2.0
+        s.values.append(100.0)
+        assert s.percentile(100) == 100.0
+
+    def test_cdf_consistent_after_mutation(self):
+        s = Samples()
+        s.extend([2, 1])
+        assert s.cdf()[-1][0] == 2.0
+        s.add(5)
+        assert s.cdf()[-1][0] == 5.0
+
 
 class TestTimeWeighted:
     def test_average_weights_by_duration(self):
@@ -90,6 +124,32 @@ class TestTimeWeighted:
         env = Environment()
         gauge = TimeWeighted(env, initial=3)
         assert gauge.average() == 3
+
+    def test_average_until_midpoint(self):
+        env = Environment()
+        gauge = TimeWeighted(env, initial=0)
+        env._now = 1.0
+        gauge.set(10)
+        env._now = 4.0
+        # [0,1] at level 0, [1,2] at level 10 -> mean 5 over [0,2].
+        assert gauge.average(until=2.0) == pytest.approx(5.0)
+
+    def test_average_until_before_last_set_does_not_go_negative(self):
+        env = Environment()
+        gauge = TimeWeighted(env, initial=0)
+        env._now = 1.0
+        gauge.set(10)
+        env._now = 2.0
+        # `until` precedes the last set(): the open interval contributes
+        # nothing, instead of subtracting 10 * (0.5 - 1.0).
+        assert gauge.average(until=0.5) == 0.0
+
+    def test_average_until_exactly_last_change(self):
+        env = Environment()
+        gauge = TimeWeighted(env, initial=2)
+        env._now = 1.0
+        gauge.set(8)
+        assert gauge.average(until=1.0) == pytest.approx(2.0)
 
 
 class TestBusyTracker:
@@ -137,6 +197,45 @@ class TestBusyTracker:
         # Window [1, 2] was fully idle.
         assert tracker.utilization(since=1.0) == pytest.approx(0.0)
 
+    def test_windowed_utilization_past_final_checkpoint(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 1.0
+        tracker.end()
+        tracker.checkpoint()  # (1.0, busy 1.0); nothing recorded after
+        env._now = 2.0
+        tracker.begin()
+        env._now = 4.0
+        # Cumulative busy at t=3 is 2.0 (the open interval started at 2);
+        # extrapolation through the in-progress busy interval recovers it.
+        assert tracker._interpolate(3.0) == pytest.approx(2.0)
+        # [3, 4] is entirely busy.
+        assert tracker.utilization(since=3.0) == pytest.approx(1.0)
+
+    def test_extrapolation_clamped_by_last_checkpoint(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 1.0
+        tracker.end()
+        tracker.checkpoint()  # (1.0, busy 1.0)
+        env._now = 4.0  # idle ever since
+        # busy_time() - (now - when) would be negative; the checkpoint
+        # value is the tighter bound.
+        assert tracker._interpolate(2.0) == pytest.approx(1.0)
+        assert tracker.utilization(since=2.0) == pytest.approx(0.0)
+
+    def test_interpolation_within_checkpoints_unchanged(self):
+        env = Environment()
+        tracker = BusyTracker(env)
+        tracker.begin()
+        env._now = 2.0
+        tracker.end()
+        tracker.checkpoint()  # (2.0, busy 2.0)
+        assert tracker._interpolate(1.0) == pytest.approx(1.0)
+        assert tracker._interpolate(0.0) == 0.0
+
 
 class TestPeriodicSampler:
     def test_samples_on_interval(self):
@@ -159,3 +258,26 @@ class TestPeriodicSampler:
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
             PeriodicSampler(Environment(), 0.0, lambda: 1.0)
+
+    def test_stop_before_first_tick(self):
+        env = Environment()
+        sampler = PeriodicSampler(env, 1.0, lambda: 1.0)
+        env.run(until=0.5)
+        sampler.stop()
+        env.run(until=5.0)
+        assert sampler.samples == []
+
+    def test_double_stop_is_noop(self):
+        env = Environment()
+        sampler = PeriodicSampler(env, 0.1, lambda: 1.0)
+        env.run(until=0.25)
+        sampler.stop()
+        sampler.stop()  # must not raise
+        assert len(sampler.samples) == 2
+
+    def test_stop_before_run_records_nothing(self):
+        env = Environment()
+        sampler = PeriodicSampler(env, 0.1, lambda: 1.0)
+        sampler.stop()
+        env.run(until=1.0)
+        assert sampler.samples == []

@@ -1,7 +1,12 @@
 """Tests for the command-line interface."""
 
+import importlib
+import json
+import pathlib
+
 import pytest
 
+import repro.experiments
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -37,6 +42,36 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.case == "case2"
+        assert args.load == "medium"
+        assert args.out == "trace.json"
+        assert args.format == "chrome"
+        assert args.flight is None
+
+    def test_run_trace_flag(self):
+        args = build_parser().parse_args(["run", "--trace", "out.json"])
+        assert args.trace == "out.json"
+
+
+class TestExperimentWiring:
+    """Every experiment is importable and wired; none is forgotten."""
+
+    def test_every_experiment_importable(self):
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert module.__doc__, f"{name} has no module docstring"
+
+    def test_on_disk_modules_match_registry(self):
+        package_dir = pathlib.Path(repro.experiments.__file__).parent
+        on_disk = {path.stem for path in package_dir.glob("*.py")
+                   if path.stem not in ("__init__", "common")}
+        assert on_disk == set(EXPERIMENTS)
+
+    def test_no_duplicate_names(self):
+        assert len(EXPERIMENTS) == len(set(EXPERIMENTS))
 
 
 class TestCommands:
@@ -80,3 +115,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "peak reduction" in out
+
+    def test_run_with_trace_writes_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(["run", "--workers", "2", "--duration", "0.3",
+                   "--trace", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace:" in out
+        document = json.loads(path.read_text())
+        names = {r.get("name") for r in document["traceEvents"]}
+        assert "request.service" in names
+        assert "epoll.dispatch" in names
+
+    def test_trace_subcommand_chrome(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(["trace", "--workers", "2", "--duration", "0.3",
+                   "--out", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests reassembled" in out
+        assert "kernel wait" in out
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+
+    def test_trace_subcommand_flight_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        rc = main(["trace", "--workers", "2", "--duration", "0.3",
+                   "--flight", "64", "--format", "jsonl",
+                   "--out", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flight recorder" in out
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 64
+        for line in lines:
+            json.loads(line)
