@@ -8,12 +8,18 @@
     python -m repro compare --case case3 --load heavy
     python -m repro experiment table3
     python -m repro list-experiments
+    python -m repro chaos --plan plan.json --mode hermes
+    python -m repro resilience --seed 7 --out matrix.json
 
 ``run`` drives one device in one mode (``--trace`` additionally records a
 Chrome/Perfetto trace); ``trace`` runs a scenario with full tracing and
 prints the per-request critical-path breakdown; ``compare`` A/Bs all
 Table-3 modes on identical traffic; ``experiment`` executes a named paper
-experiment's standalone harness.
+experiment's standalone harness; ``chaos`` arms a declarative
+:class:`repro.faults.FaultPlan` against one device and prints the fault
+timeline next to the usual metrics; ``resilience`` runs the fault ×
+notification-mode matrix (``--out`` writes canonical JSON, byte-identical
+for identical seeds — the determinism check CI relies on).
 """
 
 from __future__ import annotations
@@ -103,6 +109,30 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS)
 
     sub.add_parser("list-experiments", help="list experiment names")
+
+    chaos = sub.add_parser(
+        "chaos", help="run one device with a FaultPlan armed against it")
+    chaos.add_argument("--plan", required=True, metavar="PLAN.json",
+                       help="FaultPlan JSON file (see repro.faults.plan)")
+    chaos.add_argument("--mode", default="hermes",
+                       choices=[m.value for m in NotificationMode])
+    chaos.add_argument("--case", default="case1", choices=_CASES)
+    chaos.add_argument("--load", default="light", choices=_LOADS)
+    chaos.add_argument("--workers", type=int, default=8)
+    chaos.add_argument("--duration", type=float, default=3.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--trace", metavar="PATH", default=None,
+                       help="record a Chrome/Perfetto trace to PATH")
+
+    resilience = sub.add_parser(
+        "resilience", help="fault x mode resilience matrix")
+    resilience.add_argument("--seed", type=int, default=7)
+    resilience.add_argument("--workers", type=int, default=8)
+    resilience.add_argument("--scenario", action="append", default=None,
+                            metavar="NAME", dest="scenarios",
+                            help="run only this scenario (repeatable)")
+    resilience.add_argument("--out", metavar="PATH", default=None,
+                            help="also write the matrix as canonical JSON")
     return parser
 
 
@@ -219,6 +249,105 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults import FaultInjector, FaultPlan
+    from .kernel.nic import Nic
+    from .lb.server import LBServer
+    from .sim.engine import Environment
+    from .sim.rng import RngRegistry
+    from .workloads.cases import build_case_workload
+    from .workloads.generator import TrafficGenerator
+
+    try:
+        plan = FaultPlan.load(args.plan)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load fault plan {args.plan}: {exc}",
+              file=sys.stderr)
+        return 1
+    mode = NotificationMode(args.mode)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+        tracer = Tracer()
+    spec = build_case_workload(args.case, args.load, n_workers=args.workers,
+                               duration=args.duration)
+    env = Environment()
+    registry = RngRegistry(args.seed)
+    # Always attach a Nic so nic_loss plans work out of the box.
+    server = LBServer(env, n_workers=args.workers, ports=list(spec.ports),
+                      mode=mode,
+                      hash_seed=registry.stream("hash-seed").randrange(2 ** 32),
+                      nic=Nic(n_queues=args.workers), tracer=tracer)
+    server.start()
+    gen = TrafficGenerator(env, server, registry.stream("traffic"), spec)
+    injector = FaultInjector(env, server, plan,
+                             registry=registry.fork("faults"),
+                             tracer=tracer)
+    try:
+        injector.arm()
+    except ValueError as exc:
+        print(f"error: cannot arm {args.plan}: {exc}", file=sys.stderr)
+        return 1
+    gen.start()
+    env.run(until=args.duration + 0.5)
+    summary = server.metrics.summary()
+
+    fault_rows = [[f"{r['t']:.4f}", r["event"], r["kind"],
+                   "-" if r.get("worker") is None else r["worker"]]
+                  for r in injector.log]
+    print(render_table(["t (s)", "event", "fault", "worker"], fault_rows,
+                       title=f"fault timeline ({len(plan.faults)} specs, "
+                             f"seed {plan.seed})"))
+    print(render_table(
+        ["metric", "value"],
+        [["mode", mode.value],
+         ["workload", spec.name],
+         ["faults fired", injector.faults_fired],
+         ["faults cleared", injector.faults_cleared],
+         ["requests completed", summary["completed"]],
+         ["failed", summary["failed"]],
+         ["refused", server.metrics.connections_refused],
+         ["avg latency (ms)", f"{summary['avg_ms']:.3f}"],
+         ["p99 latency (ms)", f"{summary['p99_ms']:.3f}"],
+         ["throughput (kRPS)", f"{summary['throughput_rps'] / 1e3:.2f}"]],
+        title=f"{mode.value} on {spec.name} under {args.plan}"))
+    if tracer is not None:
+        from .obs import write_chrome_trace
+        try:
+            n = write_chrome_trace(tracer.events, args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"trace: {n} events -> {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    from .faults import SCENARIOS, render_matrix, run_resilience_matrix
+
+    if args.scenarios:
+        unknown = [s for s in args.scenarios if s not in SCENARIOS]
+        if unknown:
+            print(f"error: unknown scenario(s) {', '.join(unknown)}; "
+                  f"choose from {', '.join(SCENARIOS)}", file=sys.stderr)
+            return 1
+    matrix = run_resilience_matrix(seed=args.seed, n_workers=args.workers,
+                                   scenarios=args.scenarios)
+    print(render_matrix(matrix))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(matrix.to_json(indent=2))
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"matrix: {len(matrix.cells)} cells -> {args.out}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     for name in EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
@@ -235,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "list-experiments": _cmd_list,
+        "chaos": _cmd_chaos,
+        "resilience": _cmd_resilience,
     }
     return handlers[args.command](args)
 

@@ -12,9 +12,10 @@ requests ... even at the expense of L4 connection stability."
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
 from ..sim.engine import Environment, Interrupt
+from ..sim.rng import RngRegistry, Stream
 
 __all__ = ["ServiceDegrader"]
 
@@ -27,7 +28,8 @@ class ServiceDegrader:
                  cpu_threshold: float = 0.95,
                  sustain_checks: int = 3,
                  rst_fraction: float = 0.5,
-                 cooldown: float = 1.0):
+                 cooldown: float = 1.0,
+                 rng: Optional[Stream] = None):
         if not 0 < rst_fraction <= 1:
             raise ValueError("rst_fraction must be in (0, 1]")
         if sustain_checks < 1:
@@ -39,6 +41,11 @@ class ServiceDegrader:
         self.sustain_checks = sustain_checks
         self.rst_fraction = rst_fraction
         self.cooldown = cooldown
+        #: Victim-selection stream.  A dedicated stream (not a workload
+        #: one) keeps the degrader deterministic without biasing victims
+        #: toward the oldest connections in dict-insertion order.
+        self._rng = rng if rng is not None \
+            else RngRegistry(0).stream("degrader:victims")
         # -- state ------------------------------------------------------------
         self._last_busy: List[float] = [0.0] * server.n_workers
         self._hot_streak: List[int] = [0] * server.n_workers
@@ -49,6 +56,13 @@ class ServiceDegrader:
         self._proc = None
 
     def start(self) -> None:
+        # Reset per-worker state: after stop()/start() the busy baselines
+        # and hot streaks are stale, and a first window computed against an
+        # old baseline can mis-trigger (or mis-skip) a degradation.
+        self._last_busy = [w.metrics.cpu.busy_time()
+                           for w in self.server.workers]
+        self._hot_streak = [0] * self.server.n_workers
+        self._cooldown_until = [0.0] * self.server.n_workers
         self._proc = self.env.process(self._run(), name="degrader")
 
     def stop(self) -> None:
@@ -90,6 +104,9 @@ class ServiceDegrader:
             return
         n = max(1, math.ceil(len(victims) * self.rst_fraction))
         self.degradations += 1
-        for conn in victims[:n]:
+        # Sample victims instead of taking victims[:n]: the slice always
+        # resets the *oldest* connections (dict-insertion order), which
+        # systematically punishes long-lived sessions.
+        for conn in self._rng.sample(victims, n):
             conn.reset("service degradation")
             self.connections_reset += 1

@@ -74,6 +74,13 @@ class CascadingScheduler:
         #: Optional :class:`repro.obs.Tracer`; emits one event per filter
         #: stage with the dropped workers and reason (None = untraced).
         self.tracer = None
+        #: When False the scheduler still runs the cascade but stops pushing
+        #: the bitmap to the kernel map — the ``bitmap_sync_loss`` fault
+        #: (``repro.faults``): the eBPF program keeps dispatching on the
+        #: last synced (stale) worker set.
+        self.sync_enabled = True
+        #: Runs skipped past the kernel sync while ``sync_enabled`` is off.
+        self.syncs_suppressed = 0
         # -- statistics (Fig. 14) -------------------------------------------
         self.calls = 0
         self.pass_ratios = Samples("coarse_pass_ratio")
@@ -176,7 +183,12 @@ class CascadingScheduler:
         # global worker ids exceed 63.
         rank = {w: i for i, w in enumerate(self.worker_ids)}
         bitmap = bitmap_from_ids([rank[w] for w in selected])
-        self.sel_map.update_from_user(self.sel_key, bitmap)
+        if self.sync_enabled:
+            self.sel_map.update_from_user(self.sel_key, bitmap)
+        else:
+            # bitmap_sync_loss fault: userspace computed a fresh decision
+            # but the bpf() push never happens; the kernel map stays stale.
+            self.syncs_suppressed += 1
         self.last_bitmap = bitmap
         n = len(selected)
         if n == 0:
@@ -186,7 +198,7 @@ class CascadingScheduler:
         cpu_cost = (
             len(self.worker_ids)
             * (costs.wst_read_per_worker + costs.scheduler_per_worker)
-            + costs.map_update_syscall
+            + (costs.map_update_syscall if self.sync_enabled else 0.0)
         )
         if tracer is not None:
             tracer.end("sched.decision", "sched", bitmap=bitmap,

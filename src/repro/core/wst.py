@@ -68,6 +68,9 @@ class WorkerStatusTable:
         # Previous value per cell, for torn-read synthesis.
         self._prev_events: List[int] = [0] * n_workers
         self._prev_conns: List[int] = [0] * n_workers
+        # Frozen-timestamp fault (``repro.faults``): columns whose loop-entry
+        # timestamp stopped advancing (stuck time source / dead publisher).
+        self._frozen: List[bool] = [False] * n_workers
         # -- accounting ------------------------------------------------------
         #: Total shared-memory update operations (Table 5 "Counter").
         self.update_ops = 0
@@ -85,8 +88,22 @@ class WorkerStatusTable:
     def touch_timestamp(self, worker_id: int) -> None:
         """``shm_avail_update(current_time)`` at event-loop entry."""
         self._check_worker(worker_id)
-        self._times[worker_id] = self._clock()
+        # A frozen column still *attempts* the update (the worker pays the
+        # shared-memory write) but the value never lands — the scheduler's
+        # staleness filter is what must catch the stuck publisher.
+        if not self._frozen[worker_id]:
+            self._times[worker_id] = self._clock()
         self.update_ops += 1
+
+    def freeze(self, worker_id: int) -> None:
+        """Stop a worker's timestamp from advancing (fault injection)."""
+        self._check_worker(worker_id)
+        self._frozen[worker_id] = True
+
+    def unfreeze(self, worker_id: int) -> None:
+        """Clear a frozen timestamp; the next loop entry publishes again."""
+        self._check_worker(worker_id)
+        self._frozen[worker_id] = False
 
     def add_events(self, worker_id: int, delta: int) -> None:
         """``shm_busy_count(±n)``: pending-event counter."""

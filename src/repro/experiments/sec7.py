@@ -137,16 +137,24 @@ def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
     """Establish long-lived connections, crash the busiest worker, count
     how many connections die with it.
 
+    The crash is a declarative ``worker_crash`` :class:`~repro.faults
+    .FaultSpec` armed through the :class:`~repro.faults.FaultInjector` —
+    the same injection path the chaos CLI and the resilience matrix use —
+    firing at t=2.5 with a short failure-detection window (generation has
+    ended by then, so the window length doesn't change the blast count).
+
     With ``flight_recorder`` set, the whole stack runs traced in
-    flight-only mode (bounded memory) and the recorder is dumped
-    automatically after the crash cleanup — the post-mortem workflow.
+    flight-only mode (bounded memory) and the injector dumps the recorder
+    right after the crash cleanup — the post-mortem workflow.
     """
+    from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
     env = Environment()
     registry = RngRegistry(seed)
     tracer = None
     if flight_recorder is not None:
         from ..obs import Tracer
-        tracer = Tracer(recorder=flight_recorder, keep_events=False)
+        tracer = Tracer(env, recorder=flight_recorder, keep_events=False)
     server = LBServer(env, n_workers=n_workers, ports=[443], mode=mode,
                       hash_seed=registry.stream("hash").randrange(2 ** 32),
                       tracer=tracer)
@@ -159,18 +167,19 @@ def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
                         ports=(443,), requests_per_conn=50,
                         request_gap_mean=0.5)
     gen = TrafficGenerator(env, server, registry.stream("traffic"), spec)
+    plan = FaultPlan(faults=(
+        FaultSpec(kind=FaultKind.WORKER_CRASH, at=2.5, target="busiest",
+                  detect_delay=0.005),
+    ), seed=seed)
+    injector = FaultInjector(env, server, plan, tracer=tracer).arm()
     gen.start()
     env.run(until=3.0)
 
-    counts = server.connection_counts()
-    victim = counts.index(max(counts))
-    total = sum(counts)
-    server.crash_worker(victim)
-    killed = server.detect_and_clean_worker(victim)
-    # Post-mortem: dump the flight recorder right after the crash cleanup,
-    # so the dataclass carries the last-N events leading up to the failure.
-    flight = (flight_recorder.dump() if flight_recorder is not None
-              else None)
+    fire = injector.fired(FaultKind.WORKER_CRASH)[0]
+    cleanup = [r for r in injector.log if r["event"] == "clear"][0]
+    flight = injector.crash_dumps[0] if injector.crash_dumps else None
+    total = fire["total_conns"]
+    killed = cleanup["blast"]
     return CrashBlastResult(
         mode=mode.value,
         total_connections=total,

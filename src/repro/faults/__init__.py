@@ -1,0 +1,51 @@
+"""Deterministic fault injection and the resilience matrix.
+
+Hermes exists because of failures: hung workers turned 30 ms requests into
+440 s stalls (§2, Appendix C), and one worker crash killed >70% of a
+device's connections (§7).  This package turns those pathologies — and the
+wider failure surface of an eBPF-assisted L7 LB — into declarative,
+replayable experiments:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`: a
+  JSON-serializable schedule of timed faults (hang trains, crashes with
+  detection windows and restarts, slow workers, backend brownouts and
+  blackouts, WST timestamp freezes and torn-read bursts, eBPF bitmap sync
+  loss, NIC loss bursts).
+- :mod:`repro.faults.injector` — :class:`FaultInjector`: arms a plan
+  against a running :class:`~repro.lb.LBServer` through one uniform API,
+  emitting ``fault.arm/fire/clear`` into the observability tracer and
+  capturing flight-recorder dumps on crashes.
+- :mod:`repro.faults.resilience` — the fault × notification-mode matrix
+  (p99, hung requests, blast radius, recovery time) with the paper's
+  incidents as named scenarios.
+
+The determinism contract: an empty plan arms nothing (bit-identical to no
+injector), and identical plan + seed reproduces identical results.
+"""
+
+from .injector import FaultInjector, inject_hang
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .resilience import (
+    RESILIENCE_MODES,
+    SCENARIOS,
+    ResilienceCell,
+    ResilienceMatrix,
+    render_matrix,
+    run_resilience_cell,
+    run_resilience_matrix,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RESILIENCE_MODES",
+    "ResilienceCell",
+    "ResilienceMatrix",
+    "SCENARIOS",
+    "inject_hang",
+    "render_matrix",
+    "run_resilience_cell",
+    "run_resilience_matrix",
+]

@@ -96,6 +96,10 @@ class Epoll:
     def watches(self, fd: object) -> bool:
         return fd in self._interest
 
+    def watched_fds(self) -> List[object]:
+        """Snapshot of the interest list (restart cleanup, diagnostics)."""
+        return list(self._interest)
+
     @property
     def interest_count(self) -> int:
         return len(self._interest)

@@ -40,6 +40,12 @@ class Nic:
         #: Optional tap called per arrival — e.g. an RSS++ balancer's
         #: ``observe``.
         self.on_receive = None
+        #: Loss-burst fault model (``repro.faults``): probability that an
+        #: arrival is dropped at the NIC.  Zero = lossless, and the lossless
+        #: path draws no random numbers.
+        self.loss_prob = 0.0
+        self._loss_rng = None
+        self.packets_dropped = 0
 
     def rss_queue(self, four_tuple: FourTuple) -> int:
         """The receive queue RSS picks for this flow."""
@@ -56,6 +62,26 @@ class Nic:
         if self.on_receive is not None:
             self.on_receive(four_tuple, packets)
         return queue
+
+    def set_loss(self, prob: float, rng=None) -> None:
+        """Arm (or with ``prob=0`` clear) the loss-burst fault model."""
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {prob}")
+        if prob > 0 and rng is None:
+            raise ValueError("a nonzero loss probability needs an rng stream")
+        self.loss_prob = prob
+        self._loss_rng = rng if prob > 0 else None
+
+    def sample_loss(self) -> bool:
+        """True when the current arrival is dropped.  Draws from the fault
+        stream only while a loss fault is armed — an unfaulted NIC performs
+        zero RNG draws, preserving bit-identical unfaulted runs."""
+        if self.loss_prob <= 0.0:
+            return False
+        if self._loss_rng.random() >= self.loss_prob:
+            return False
+        self.packets_dropped += 1
+        return True
 
     def set_indirection(self, bucket: int, queue: int) -> None:
         """Reprogram one indirection entry (the RSS++ rebalancing knob)."""

@@ -291,6 +291,13 @@ class NetStack:
         self.total_syns += 1
         if self.nic is not None:
             self.nic.receive(connection.four_tuple)
+            if self.nic.sample_loss():
+                # SYN dropped at the NIC (loss-burst fault): the client sees
+                # a refused connection and may retry via its reset handling.
+                connection.state = ConnState.REFUSED
+                connection.reset_reason = "syn lost (nic)"
+                self.total_refused += 1
+                return False
         binding = self.bindings.get(connection.port)
         socket: Optional[ListeningSocket] = None
         if binding is not None:
@@ -336,6 +343,10 @@ class NetStack:
         """Client data arrives on an established connection."""
         if self.nic is not None:
             self.nic.receive(connection.four_tuple)
+            if self.nic.sample_loss():
+                # Request data dropped at the NIC: it never reaches the
+                # socket, as if the client's send were lost on the wire.
+                return
         request.tenant_id = connection.tenant_id
         tracer = self.tracer
         if tracer is None:

@@ -216,7 +216,10 @@ class LBServer:
 
     # -- failure injection -----------------------------------------------------
     def hang_worker(self, worker_id: int, duration: float) -> None:
-        self.workers[worker_id].inject_hang(duration)
+        """Block one worker's next loop iteration (routed through the
+        ``repro.faults`` primitive — the single hang-injection path)."""
+        from ..faults.injector import inject_hang
+        inject_hang(self.workers[worker_id], duration, tracer=self.tracer)
 
     def crash_worker(self, worker_id: int,
                      cleanup_delay: Optional[float] = None) -> None:
@@ -254,6 +257,43 @@ class LBServer:
             self.tracer.instant("worker.cleanup", "worker", worker=worker_id,
                                 blast_radius=blast)
         return blast
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Bring a crashed worker back into service (the recovery leg of
+        the §7 incident).  If the failure was never detected, detection runs
+        first — a worker cannot restart while its old sockets linger.
+
+        Reuseport modes bind *fresh* per-port sockets for the worker; the
+        tombstoned old sockets stay in each group's array so the member
+        indices of every other worker remain stable.  Because every port's
+        group has seen the identical bind history, the new socket lands at
+        the same array index on every port, which lets HERMES repoint the
+        worker's ``REUSEPORT_SOCKARRAY`` slot at it.
+        """
+        worker = self.workers[worker_id]
+        if worker.is_alive:
+            raise RuntimeError(f"worker {worker_id} is not crashed")
+        if worker.conns:
+            self.detect_and_clean_worker(worker_id)
+        # Drop tombstoned (closed) listening sockets from the worker's view.
+        for socket in [s for s in worker.listen_socks if s.closed]:
+            if worker.epoll.watches(socket):
+                worker.epoll.ctl_del(socket)
+            worker.listen_socks.discard(socket)
+            worker._listen_flags.pop(socket, None)
+        if not self.mode.uses_shared_sockets:
+            new_index = None
+            for port in self.ports:
+                socket = self.stack.bind_reuseport(port, owner=worker)
+                worker.add_listen_socket(socket)
+                self._worker_sockets.setdefault(worker_id, {})[port] = socket
+                new_index = self.stack.group_for(port).sockets.index(socket)
+            if worker.hermes is not None and new_index is not None:
+                binding = worker.hermes
+                binding.group.sock_map.install(binding.rank, new_index)
+        worker.restart()
+        if self.tracer is not None:
+            self.tracer.instant("worker.restart", "worker", worker=worker_id)
 
     # -- introspection -----------------------------------------------------------
     def worker_socket(self, worker_id: int, port: int) -> ListeningSocket:

@@ -116,6 +116,9 @@ class Worker:
         self._shared_socket_count = 0
         #: Connections refused because the preallocated pool was full.
         self.pool_exhausted = 0
+        #: Service-time multiplier (``slow_worker`` fault in
+        #: ``repro.faults``): 1.0 = nominal speed.
+        self.service_multiplier = 1.0
 
     def refresh_socket_accounting(self) -> None:
         """Recount shared (contended) listening sockets after wiring."""
@@ -137,10 +140,37 @@ class Worker:
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("crash")
 
+    def restart(self) -> None:
+        """Bring a crashed worker back (post-incident recovery).  The
+        server re-binds sockets via ``LBServer.restart_worker``; this resets
+        only process-local state and respawns the loop."""
+        if self.state is not WorkerState.CRASHED:
+            raise RuntimeError("only a crashed worker can restart")
+        # Purge dead connection fds from the epoll: their owners were reset
+        # at failure detection, and a level-triggered error condition would
+        # otherwise re-report forever (a busy-looping fresh process).
+        for fd in self.epoll.watched_fds():
+            if fd not in self.listen_socks:
+                self.epoll.ctl_del(fd)
+        self.state = WorkerState.RUNNING
+        self._proc = None
+        self._forced_hang = 0.0
+        self._pending_charge = 0.0
+        self._accept_disabled = False
+        self.service_multiplier = 1.0
+        self.refresh_socket_accounting()
+        self.start()
+
     def inject_hang(self, duration: float) -> None:
-        """Make the next loop iteration block for ``duration`` of CPU —
-        models a worker stuck draining a heavy edge-triggered read."""
-        self._forced_hang += duration
+        """Deprecated shim: use :func:`repro.faults.inject_hang` (the one
+        injection path) or a ``worker_hang`` :class:`~repro.faults.FaultSpec`."""
+        import warnings
+
+        warnings.warn(
+            "Worker.inject_hang is deprecated; use repro.faults.inject_hang "
+            "or a FaultPlan", DeprecationWarning, stacklevel=2)
+        from ..faults.injector import inject_hang
+        inject_hang(self, duration)
 
     def add_listen_socket(self, sock: ListeningSocket,
                           exclusive: bool = False) -> None:
@@ -333,7 +363,8 @@ class Worker:
     def _process_request_event(self, conn: Connection, request: Request):
         """Run one event of a request to completion on this core."""
         tracer = self.tracer
-        service = request.event_times[request.next_event]
+        service = (request.event_times[request.next_event]
+                   * self.service_multiplier)
         if request.start_service_time < 0:
             request.start_service_time = self.env.now
         if tracer is not None:

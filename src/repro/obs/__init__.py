@@ -35,6 +35,7 @@ from .timeline import (
     summarize_timelines,
 )
 from .trace import (
+    CAT_FAULT,
     CAT_KERNEL,
     CAT_NET,
     CAT_SCHED,
@@ -44,6 +45,7 @@ from .trace import (
 )
 
 __all__ = [
+    "CAT_FAULT",
     "CAT_KERNEL",
     "CAT_NET",
     "CAT_SCHED",

@@ -34,6 +34,7 @@ __all__ = [
     "CAT_NET",
     "CAT_WORKER",
     "CAT_SCHED",
+    "CAT_FAULT",
 ]
 
 #: Kernel-side mechanisms: wait queues, epoll callbacks, reuseport selection.
@@ -44,6 +45,8 @@ CAT_NET = "net"
 CAT_WORKER = "worker"
 #: The Hermes cascading scheduler.
 CAT_SCHED = "sched"
+#: Fault injection: ``fault.arm`` / ``fault.fire`` / ``fault.clear``.
+CAT_FAULT = "fault"
 
 
 class TraceEvent:

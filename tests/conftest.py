@@ -1,0 +1,23 @@
+"""Shared test configuration: hypothesis profiles.
+
+Property tests that leave ``max_examples`` unpinned (the chaos suite)
+inherit it from the active profile, so CI can scale them without code
+changes:
+
+- ``default`` — quick: tier-1 runs everywhere, including laptops.
+- ``chaos`` — the scheduled chaos job: ``HYPOTHESIS_PROFILE=chaos``
+  raises ``max_examples`` (``CHAOS_MAX_EXAMPLES`` overrides the count)
+  and prints reproduction blobs for any failure it digs up.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=25, deadline=None)
+settings.register_profile(
+    "chaos",
+    max_examples=int(os.environ.get("CHAOS_MAX_EXAMPLES", "200")),
+    deadline=None,
+    print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

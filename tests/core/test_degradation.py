@@ -102,3 +102,93 @@ class TestDegradation:
         env.run(until=0.3)
         degrader.stop()
         env.run(until=1.0)  # no crash, no further checks
+
+
+class TestRestart:
+    def test_restart_does_not_mistrigger_on_stale_baseline(self):
+        """Regression: start() must re-baseline ``_last_busy``.  CPU burned
+        while the degrader was stopped would otherwise all land in the
+        first post-restart window, reading as >100% utilization on a
+        now-healthy worker and resetting its connections for nothing."""
+        env, server = setup(n_workers=1)
+        for i in range(10):
+            connect(server, env, i)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=1)
+        degrader.start()
+        env.run(until=0.2)
+        degrader.stop()
+        # The worker burns a sustained stretch of CPU while unwatched,
+        # then goes idle again before the degrader comes back.
+        server.hang_worker(0, duration=1.0)
+        env.run(until=2.0)
+        degrader.start()
+        env.run(until=3.0)
+        assert degrader.degradations == 0
+        assert degrader.connections_reset == 0
+
+    def test_restart_clears_hot_streak_and_cooldown(self):
+        env, server = setup(n_workers=1)
+        for i in range(10):
+            connect(server, env, i)
+        env.run(until=0.1)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=1,
+                                   rst_fraction=0.1, cooldown=100.0)
+        degrader.start()
+        server.hang_worker(0, duration=0.5)
+        env.run(until=1.0)
+        assert degrader.degradations == 1  # then the long cooldown holds
+        degrader.stop()
+        degrader.start()  # restart forgets the stale cooldown
+        assert degrader._cooldown_until == [0.0]
+        assert degrader._hot_streak == [0]
+        server.hang_worker(0, duration=0.5)
+        env.run(until=2.0)
+        assert degrader.degradations == 2
+
+    def test_restart_after_worker_count_is_stable(self):
+        env, server = setup(n_workers=3)
+        degrader = ServiceDegrader(env, server)
+        degrader.start()
+        env.run(until=0.3)
+        degrader.stop()
+        degrader.start()
+        assert len(degrader._last_busy) == 3
+        env.run(until=0.6)
+
+
+class TestVictimSampling:
+    def run_degradation(self, rng):
+        env, server = setup(n_workers=1)
+        conns = [connect(server, env, i) for i in range(20)]
+        env.run(until=0.1)
+        degrader = ServiceDegrader(env, server, check_interval=0.05,
+                                   cpu_threshold=0.9, sustain_checks=1,
+                                   rst_fraction=0.5, rng=rng)
+        degrader.start()
+        server.hang_worker(0, duration=2.0)
+        env.run(until=0.5)
+        return conns, [i for i, c in enumerate(conns)
+                       if c.state.value == "reset"]
+
+    def test_victims_sampled_not_oldest_first(self):
+        """The old ``victims[:n]`` slice always reset the oldest
+        connections (dict-insertion order); sampling must not."""
+        from repro.sim import RngRegistry
+        _, reset = self.run_degradation(RngRegistry(11).stream("victims"))
+        assert len(reset) == 10
+        assert reset != list(range(10))  # not the n oldest
+
+    def test_victim_choice_is_seed_deterministic(self):
+        from repro.sim import RngRegistry
+        _, first = self.run_degradation(RngRegistry(11).stream("victims"))
+        _, second = self.run_degradation(RngRegistry(11).stream("victims"))
+        assert first == second
+        _, other = self.run_degradation(RngRegistry(12).stream("victims"))
+        assert first != other
+
+    def test_default_rng_is_deterministic_too(self):
+        _, first = self.run_degradation(None)
+        _, second = self.run_degradation(None)
+        assert first == second

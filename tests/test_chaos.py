@@ -1,14 +1,21 @@
 """Chaos tests: random failure injection must never corrupt accounting.
 
-Random workloads + random hang/crash/degradation events, across random
-modes and seeds.  Whatever happens, the simulation must terminate and the
-books must balance.
+Random workloads + random hang/crash/degradation events — expressed as
+declarative :class:`repro.faults.FaultPlan` schedules and armed through
+the :class:`repro.faults.FaultInjector`, the same path the chaos CLI and
+the resilience matrix use — across random modes and seeds.  Whatever
+happens, the simulation must terminate and the books must balance.
+
+``max_examples`` comes from the hypothesis profile (see
+``tests/conftest.py``): the scheduled CI chaos job raises it via
+``HYPOTHESIS_PROFILE=chaos`` / ``CHAOS_MAX_EXAMPLES``.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import ServiceDegrader
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.lb import LBServer, NotificationMode
 from repro.sim import Environment, RngRegistry
 from repro.workloads import FixedFactory, TrafficGenerator, WorkloadSpec
@@ -35,9 +42,22 @@ def chaos_scenario(draw):
     }
 
 
+def build_plan(scenario) -> FaultPlan:
+    """The scenario's failures as one declarative, serializable plan."""
+    faults = [
+        FaultSpec(kind=FaultKind.WORKER_HANG, at=when, duration=duration,
+                  target=int(when * 1000) % scenario["n_workers"])
+        for when, duration in scenario["hangs"]
+    ]
+    if scenario["crash"] and scenario["n_workers"] > 1:
+        faults.append(FaultSpec(kind=FaultKind.WORKER_CRASH, at=0.5,
+                                target=0, detect_delay=0.1))
+    return FaultPlan(faults=tuple(faults), seed=scenario["seed"])
+
+
 class TestChaos:
     @given(chaos_scenario())
-    @settings(max_examples=25, deadline=None)
+    @settings(deadline=None)
     def test_accounting_survives_failures(self, scenario):
         env = Environment()
         registry = RngRegistry(scenario["seed"])
@@ -53,20 +73,22 @@ class TestChaos:
             request_gap_mean=0.02, reconnect_on_reset=True)
         gen = TrafficGenerator(env, server, registry.stream("traffic"),
                                spec)
+
+        # The plan survives a JSON round-trip before it's armed — chaos
+        # runs exercise the same serialization path as `repro chaos`.
+        plan = FaultPlan.from_json(build_plan(scenario).to_json())
+        injector = FaultInjector(env, server, plan).arm()
         gen.start()
 
-        for when, duration in scenario["hangs"]:
-            victim = int(when * 1000) % scenario["n_workers"]
-            env.schedule_callback(
-                when, lambda v=victim, d=duration: server.hang_worker(v, d))
-        if scenario["crash"] and scenario["n_workers"] > 1:
-            env.schedule_callback(
-                0.5, lambda: server.crash_worker(0, cleanup_delay=0.1))
         if scenario["degrade"]:
             ServiceDegrader(env, server, check_interval=0.1,
-                            sustain_checks=1, cpu_threshold=0.95).start()
+                            sustain_checks=1, cpu_threshold=0.95,
+                            rng=registry.stream("degrader")).start()
 
         env.run(until=3.0)
+
+        # Every scheduled occurrence fired inside the horizon.
+        assert injector.faults_fired == len(plan.faults)
 
         metrics = server.metrics
         # The books balance: device totals equal per-worker sums.
@@ -94,7 +116,7 @@ class TestChaos:
                     or scenario["hangs"] or scenario["crash"])
 
     @given(st.integers(min_value=0, max_value=10 ** 6))
-    @settings(max_examples=10, deadline=None)
+    @settings(deadline=None)
     def test_mass_crash_leaves_consistent_state(self, seed):
         """Crash everyone mid-flight; nothing raises, books balance."""
         env = Environment()
@@ -108,13 +130,14 @@ class TestChaos:
                             requests_per_conn=3, request_gap_mean=0.05)
         TrafficGenerator(env, server, registry.stream("t"), spec).start()
 
-        def crash_all():
-            for worker_id in range(3):
-                server.crash_worker(worker_id)
-                server.detect_and_clean_worker(worker_id)
-
-        env.schedule_callback(0.5, crash_all)
+        plan = FaultPlan(faults=tuple(
+            FaultSpec(kind=FaultKind.WORKER_CRASH, at=0.5, target=wid,
+                      detect_delay=0.0)
+            for wid in range(3)), seed=seed)
+        injector = FaultInjector(env, server, plan).arm()
         env.run(until=2.0)
+
+        assert injector.faults_fired == 3
         assert server.alive_workers == []
         for worker in server.workers:
             assert len(worker.conns) == 0

@@ -55,6 +55,25 @@ class TestParser:
         args = build_parser().parse_args(["run", "--trace", "out.json"])
         assert args.trace == "out.json"
 
+    def test_chaos_requires_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+        args = build_parser().parse_args(["chaos", "--plan", "p.json"])
+        assert args.plan == "p.json"
+        assert args.mode == "hermes"
+
+    def test_resilience_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.seed == 7
+        assert args.scenarios is None
+        assert args.out is None
+
+    def test_resilience_repeatable_scenarios(self):
+        args = build_parser().parse_args(
+            ["resilience", "--scenario", "worker_hang",
+             "--scenario", "nic_loss"])
+        assert args.scenarios == ["worker_hang", "nic_loss"]
+
 
 class TestExperimentWiring:
     """Every experiment is importable and wired; none is forgotten."""
@@ -138,6 +157,43 @@ class TestCommands:
         assert "kernel wait" in out
         document = json.loads(path.read_text())
         assert document["traceEvents"]
+
+    def test_chaos_runs_plan_and_prints_timeline(self, capsys, tmp_path):
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_HANG, at=0.3, duration=0.1,
+                      target=0),
+        ), seed=5).save(str(plan_path))
+        rc = main(["chaos", "--plan", str(plan_path), "--workers", "2",
+                   "--duration", "0.6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault timeline" in out
+        assert "worker_hang" in out
+        assert "faults fired" in out
+
+    def test_chaos_missing_plan_file_errors(self, capsys, tmp_path):
+        rc = main(["chaos", "--plan", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_resilience_writes_canonical_json(self, capsys, tmp_path):
+        path = tmp_path / "matrix.json"
+        rc = main(["resilience", "--workers", "2",
+                   "--scenario", "nic_loss", "--out", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Resilience matrix" in out
+        document = json.loads(path.read_text())
+        assert document["seed"] == 7
+        assert {c["mode"] for c in document["cells"]} \
+            == {"exclusive", "reuseport", "hermes"}
+
+    def test_resilience_unknown_scenario_errors(self, capsys):
+        rc = main(["resilience", "--scenario", "meteor"])
+        assert rc == 1
+        assert "unknown scenario" in capsys.readouterr().err
 
     def test_trace_subcommand_flight_jsonl(self, capsys, tmp_path):
         path = tmp_path / "flight.jsonl"
