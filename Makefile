@@ -1,6 +1,6 @@
 # Convenience targets for the Hermes reproduction.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench perf perf-check examples experiments clean
 
 install:
 	pip install -e .
@@ -13,6 +13,15 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Full benchmark run; rewrites the committed canonical report.
+perf:
+	PYTHONPATH=src python -m repro perf
+
+# What CI runs: quick scales, gate against the committed report.
+perf-check:
+	PYTHONPATH=src python -m repro perf --quick \
+	    --out BENCH_perf.ci.json --check BENCH_perf.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done

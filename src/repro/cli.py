@@ -10,6 +10,7 @@
     python -m repro list-experiments
     python -m repro chaos --plan plan.json --mode hermes
     python -m repro resilience --seed 7 --out matrix.json
+    python -m repro perf --quick --check BENCH_perf.json
 
 ``run`` drives one device in one mode (``--trace`` additionally records a
 Chrome/Perfetto trace); ``trace`` runs a scenario with full tracing and
@@ -19,7 +20,9 @@ experiment's standalone harness; ``chaos`` arms a declarative
 :class:`repro.faults.FaultPlan` against one device and prints the fault
 timeline next to the usual metrics; ``resilience`` runs the fault ×
 notification-mode matrix (``--out`` writes canonical JSON, byte-identical
-for identical seeds — the determinism check CI relies on).
+for identical seeds — the determinism check CI relies on); ``perf`` runs
+the calibrated benchmark suite (:mod:`repro.perf`) and writes the canonical
+``BENCH_perf.json`` report, optionally gating on a committed baseline.
 """
 
 from __future__ import annotations
@@ -133,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run only this scenario (repeatable)")
     resilience.add_argument("--out", metavar="PATH", default=None,
                             help="also write the matrix as canonical JSON")
+
+    perf = sub.add_parser(
+        "perf", help="run the calibrated benchmark suite and write "
+                     "BENCH_perf.json")
+    perf.add_argument("--quick", action="store_true",
+                      help="reduced scales for CI smoke runs")
+    perf.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                      help="report path (default: BENCH_perf.json)")
+    perf.add_argument("--bench", action="append", default=None,
+                      metavar="NAME", dest="benches",
+                      help="run only this bench (repeatable)")
+    perf.add_argument("--repeats", type=_positive_int, default=3,
+                      help="timing repeats per bench (best is kept)")
+    perf.add_argument("--check", metavar="COMMITTED.json", default=None,
+                      help="fail (exit 1) if a gated bench's normalized "
+                           "score regressed >20%% vs this committed report")
     return parser
 
 
@@ -348,6 +367,40 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from .perf import (build_report, calibrate, check_regression, load_report,
+                       render_report, run_benchmarks, write_report)
+
+    try:
+        results = run_benchmarks(quick=args.quick, only=args.benches,
+                                 repeats=args.repeats)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = build_report(results, calibrate(), quick=args.quick)
+    print(render_report(report))
+    try:
+        write_report(report, args.out)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"report: {len(report['benches'])} benches -> {args.out}")
+    if args.check:
+        try:
+            committed = load_report(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load committed report {args.check}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures = check_regression(report, committed)
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate: ok vs {args.check}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     for name in EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
@@ -366,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list-experiments": _cmd_list,
         "chaos": _cmd_chaos,
         "resilience": _cmd_resilience,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -66,6 +66,23 @@ class CascadingScheduler:
         self.worker_ids: Tuple[int, ...] = tuple(
             worker_ids if worker_ids is not None else range(wst.n_workers))
         self.sel_key = sel_key
+        # Hoisted out of the per-call path: local rank of each worker id
+        # (bitmap bit positions) and its precomputed bit, plus the full
+        # candidate list and its all-pass bitmap for the no-drop fast path.
+        self._rank = {w: i for i, w in enumerate(self.worker_ids)}
+        self._all_candidates = list(self.worker_ids)
+        # Zero-copy table read when the WST offers it (the simulation WST's
+        # atomic mode); duck-typed tables (e.g. the real-shm seqlock one)
+        # keep their copying read_all.
+        self._read_table = getattr(wst, "read_view", wst.read_all)
+        if len(self.worker_ids) <= 64:
+            self._bit = {w: 1 << i for i, w in enumerate(self.worker_ids)}
+            self._all_bitmap = bitmap_from_ids(self._rank.values())
+        else:
+            # Oversized groups keep the validating slow path so the same
+            # ValueError fires at schedule time, exactly as before.
+            self._bit = None
+            self._all_bitmap = None
         #: Optional per-worker connection-pool limits, indexed like the
         #: WST.  Enables the "capacity" filter stage (§5.1.1: never
         #: select a worker whose preallocated pool is full).
@@ -92,10 +109,16 @@ class CascadingScheduler:
     # -- the three filters ---------------------------------------------------
     def filter_time(self, snapshot: WstSnapshot,
                     candidates: List[int], now: float) -> List[int]:
-        """Keep workers whose event loop re-entered recently (FilterTime)."""
+        """Keep workers whose event loop re-entered recently (FilterTime).
+
+        Returns ``candidates`` itself (identity) when nothing is dropped —
+        the common steady-state case — so downstream stages and the tracer
+        can skip drop bookkeeping with one ``is`` check.
+        """
         threshold = self.config.hang_threshold
-        return [w for w in candidates
-                if now - snapshot.times[w] < threshold]
+        times = snapshot.times
+        kept = [w for w in candidates if now - times[w] < threshold]
+        return candidates if len(kept) == len(candidates) else kept
 
     @staticmethod
     def _filter_count(values: Sequence[float], candidates: List[int],
@@ -110,9 +133,14 @@ class CascadingScheduler:
         """
         if not candidates:
             return candidates
-        avg = sum(values[w] for w in candidates) / len(candidates)
+        # One indexing pass feeds both the average and the comparison; the
+        # explicit sum() keeps float accumulation order (and thus results)
+        # identical to the two-pass form.
+        vals = [values[w] for w in candidates]
+        avg = sum(vals) / len(vals)
         baseline = avg + theta_ratio * avg
-        return [w for w in candidates if values[w] <= baseline]
+        kept = [w for w, v in zip(candidates, vals) if v <= baseline]
+        return candidates if len(kept) == len(candidates) else kept
 
     def filter_conn(self, snapshot: WstSnapshot,
                     candidates: List[int]) -> List[int]:
@@ -131,8 +159,10 @@ class CascadingScheduler:
         limits = self.capacity_limits
         if limits is None:
             return candidates
-        return [w for w in candidates
-                if limits[w] is None or snapshot.conns[w] < limits[w]]
+        conns = snapshot.conns
+        kept = [w for w in candidates
+                if limits[w] is None or conns[w] < limits[w]]
+        return candidates if len(kept) == len(candidates) else kept
 
     #: Why each cascade stage drops a worker (trace drop reasons).
     DROP_REASONS = {
@@ -145,9 +175,14 @@ class CascadingScheduler:
     # -- the full cascade ------------------------------------------------
     def select_workers(self, snapshot: WstSnapshot,
                        now: float) -> List[int]:
-        """Run the cascade over a snapshot; returns surviving worker ids."""
+        """Run the cascade over a snapshot; returns surviving worker ids.
+
+        May return the scheduler's shared all-candidates list when every
+        stage passed everything through (identity fast path) — callers must
+        not mutate the result.
+        """
         tracer = self.tracer
-        candidates = list(self.worker_ids)
+        candidates = self._all_candidates
         for stage in self.config.filter_order:
             before = candidates
             if stage == "time":
@@ -161,7 +196,11 @@ class CascadingScheduler:
             else:  # pragma: no cover - config validates
                 raise ValueError(f"unknown filter stage {stage!r}")
             if tracer is not None:
-                dropped = [w for w in before if w not in candidates]
+                if candidates is before:
+                    dropped = []
+                else:
+                    survivors = set(candidates)
+                    dropped = [w for w in before if w not in survivors]
                 tracer.instant(
                     "sched.filter", "sched", stage=stage, before=len(before),
                     after=len(candidates), dropped=dropped,
@@ -176,13 +215,22 @@ class CascadingScheduler:
         if tracer is not None:
             tracer.begin("sched.decision", "sched",
                          n_workers=len(self.worker_ids))
-        snapshot = self.wst.read_all()
+        snapshot = self._read_table()
         selected = self.select_workers(snapshot, now)
         # Bitmap bit positions are *local* ranks within this scheduler's
         # worker set, so one 64-bit word covers any 64-worker group even if
-        # global worker ids exceed 63.
-        rank = {w: i for i, w in enumerate(self.worker_ids)}
-        bitmap = bitmap_from_ids([rank[w] for w in selected])
+        # global worker ids exceed 63.  Ranks and bits are precomputed in
+        # __init__; a cascade that dropped nobody reuses the all-pass word.
+        bits = self._bit
+        if bits is None:
+            rank = self._rank
+            bitmap = bitmap_from_ids([rank[w] for w in selected])
+        elif selected is self._all_candidates:
+            bitmap = self._all_bitmap
+        else:
+            bitmap = 0
+            for w in selected:
+                bitmap |= bits[w]
         if self.sync_enabled:
             self.sel_map.update_from_user(self.sel_key, bitmap)
         else:

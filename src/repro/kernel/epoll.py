@@ -81,8 +81,10 @@ class Epoll:
         fd.wait_queue.add(entry)
         # Level-triggered semantics: if the fd is already ready at add time
         # it must be reported (the kernel checks revents at insertion).
-        if not edge_triggered and fd.poll():
-            self._ready[fd] = self._ready.get(fd, 0) | fd.poll()
+        if not edge_triggered:
+            mask = fd.poll()
+            if mask:
+                self._ready[fd] = self._ready.get(fd, 0) | mask
 
     def ctl_del(self, fd: object) -> None:
         """EPOLL_CTL_DEL: stop watching ``fd``."""
@@ -133,6 +135,8 @@ class Epoll:
     # -- userspace-side wait path ------------------------------------------
     def _harvest(self, max_events: int) -> List[EpollEvent]:
         """Collect ready events, re-arming level-triggered fds still ready."""
+        if not self._ready:
+            return []  # nothing pending: skip the list/dict churn entirely
         out: List[EpollEvent] = []
         rearmed: Dict[object, int] = {}
         pending = list(self._ready.items())

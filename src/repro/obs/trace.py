@@ -95,6 +95,9 @@ class Tracer:
         Master switch; a disabled tracer drops events at the door.
     """
 
+    __slots__ = ("_env", "recorder", "keep_events", "enabled", "events",
+                 "ctx", "_seq", "_rid", "dropped")
+
     def __init__(self, env=None, recorder=None, keep_events: bool = True,
                  enabled: bool = True):
         self._env = env

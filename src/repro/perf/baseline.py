@@ -1,0 +1,67 @@
+"""The committed pre-PR baseline: what the unoptimised core measured.
+
+Captured by running this same bench suite against the tree *before* the
+fast-path PR landed (commit 4bc651e), on the machine whose calibration score
+is recorded below.  ``normalized`` is ``ops_per_sec / calibration`` — the
+machine-independent score the trajectory is judged on.
+
+``macro_lb_run`` predates the engine's ``steps`` counter, so its unit is
+"requests"; ``macro_engine_events_per_sec`` records the same run's raw
+engine event throughput (measured with a counting ``step`` shim: 18,599
+events per 2.5 s cell, best wall 0.249 s).
+
+This block is a historical record; do not re-measure it on new machines.
+Post-PR numbers live in ``BENCH_perf.json`` and are refreshed by
+``repro perf``.
+"""
+
+from __future__ import annotations
+
+#: The pre-PR capture run (see docs/PERFORMANCE.md for the procedure).
+PRE_PR_BASELINE = {
+    "captured_at_commit": "4bc651e",
+    "calibration_ops_per_sec": 25782847.2,
+    "macro_engine_events_per_sec": 74585.0,
+    "benches": {
+        "engine_throughput": {
+            "ops": 200000, "seconds": 0.323881, "ops_per_sec": 617511.5,
+            "unit": "events",
+            "meta": {"n_procs": 50, "events_per_proc": 4000},
+        },
+        "condition_allof": {
+            "ops": 6000, "seconds": 0.137074, "ops_per_sec": 43771.9,
+            "unit": "sub-events",
+            "meta": {"width": 1000, "rounds": 6},
+        },
+        "schedule_callback": {
+            "ops": 50000, "seconds": 0.238444, "ops_per_sec": 209692.9,
+            "unit": "callbacks",
+            "meta": {"n": 50000},
+        },
+        "scheduler_cascade": {
+            "ops": 20000, "seconds": 0.80263, "ops_per_sec": 24918.1,
+            "unit": "calls",
+            "meta": {"n_workers": 64, "calls": 20000},
+        },
+        "epoll_wakeup_fanout": {
+            "ops": 32000, "seconds": 0.331192, "ops_per_sec": 96620.8,
+            "unit": "wakeups",
+            "meta": {"n_workers": 32, "rounds": 1000},
+        },
+        "macro_lb_run": {
+            "ops": 1571, "seconds": 0.232943, "ops_per_sec": 6744.1,
+            "unit": "requests",
+            "meta": {"mode": "hermes", "case": "case2", "load": "medium",
+                     "n_workers": 8, "duration": 2.5,
+                     "completed": 1571, "avg_ms": 47.8698},
+        },
+    },
+    "normalized": {
+        "engine_throughput": 0.02395,
+        "condition_allof": 0.001698,
+        "schedule_callback": 0.008133,
+        "scheduler_cascade": 0.000966,
+        "epoll_wakeup_fanout": 0.003747,
+        "macro_lb_run": 0.000262,
+    },
+}

@@ -1,0 +1,261 @@
+"""The benchmark suite: engine, conditions, scheduler, epoll, end-to-end.
+
+Each bench exercises one hot path named in the Table 5 / §5 cost model:
+
+- ``engine_throughput`` — raw discrete-event dispatch: N processes each
+  yielding M timeouts; measures events/sec through ``Environment.run``.
+- ``condition_allof`` — ``AllOf`` completion over wide event sets (the
+  path that used to recount all sub-events per trigger, O(n²)).
+- ``schedule_callback`` — the process-less deferred-call path.
+- ``scheduler_cascade`` — ``CascadingScheduler.schedule_and_sync`` over a
+  64-worker WST, counters drifting deterministically between calls.
+- ``epoll_wakeup_fanout`` — a thundering-herd wake: one shared fd, every
+  worker's epoll registered non-exclusively, full callback fan-out plus
+  sleeper wakeups and re-harvest.
+- ``macro_lb_run`` — one end-to-end :class:`~repro.lb.server.LBServer`
+  run in Hermes mode on a Table-3 workload cell (the number every sweep
+  in this repo actually pays).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .harness import BenchResult, time_bench
+
+__all__ = [
+    "bench_engine_throughput",
+    "bench_condition_allof",
+    "bench_schedule_callback",
+    "bench_scheduler_cascade",
+    "bench_epoll_wakeup_fanout",
+    "bench_macro_lb_run",
+]
+
+
+# ---------------------------------------------------------------------------
+# engine_throughput
+# ---------------------------------------------------------------------------
+
+def bench_engine_throughput(quick: bool = False,
+                            repeats: int = 3) -> BenchResult:
+    from ..sim.engine import Environment
+
+    n_procs = 50
+    n_events = 400 if quick else 4000
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield 1.0  # direct timer fast path
+
+    def setup():
+        env = Environment()
+        for _ in range(n_procs):
+            env.process(ticker(env, n_events))
+        return env
+
+    def run(env) -> int:
+        env.run()
+        return n_procs * n_events
+
+    return time_bench("engine_throughput", setup, run, unit="events",
+                      repeats=repeats,
+                      meta={"n_procs": n_procs, "events_per_proc": n_events})
+
+
+# ---------------------------------------------------------------------------
+# condition_allof
+# ---------------------------------------------------------------------------
+
+def bench_condition_allof(quick: bool = False,
+                          repeats: int = 3) -> BenchResult:
+    from ..sim.engine import AllOf, AnyOf, Environment
+
+    width = 200 if quick else 1000
+    rounds = 3 if quick else 6
+
+    def setup():
+        return None
+
+    def run(_state) -> int:
+        for _ in range(rounds):
+            env = Environment()
+            events = [env.timeout(float(i % 7)) for i in range(width)]
+            AllOf(env, events)
+            AnyOf(env, events[: width // 2])
+            env.run()
+        return rounds * width
+
+    return time_bench("condition_allof", setup, run, unit="sub-events",
+                      repeats=repeats, meta={"width": width,
+                                             "rounds": rounds})
+
+
+# ---------------------------------------------------------------------------
+# schedule_callback
+# ---------------------------------------------------------------------------
+
+def bench_schedule_callback(quick: bool = False,
+                            repeats: int = 3) -> BenchResult:
+    from ..sim.engine import Environment
+
+    n = 5_000 if quick else 50_000
+
+    def setup():
+        return Environment()
+
+    def run(env) -> int:
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        for i in range(n):
+            env.schedule_callback(float(i % 13), tick)
+        env.run()
+        assert fired[0] == n
+        return n
+
+    return time_bench("schedule_callback", setup, run, unit="callbacks",
+                      repeats=repeats, meta={"n": n})
+
+
+# ---------------------------------------------------------------------------
+# scheduler_cascade
+# ---------------------------------------------------------------------------
+
+def bench_scheduler_cascade(quick: bool = False,
+                            repeats: int = 3) -> BenchResult:
+    from ..core.ebpf import BpfArrayMap
+    from ..core.scheduler import CascadingScheduler
+    from ..core.wst import WorkerStatusTable
+
+    n_workers = 64
+    calls = 2_000 if quick else 20_000
+
+    def setup():
+        clock = [0.0]
+        wst = WorkerStatusTable(n_workers, clock=lambda: clock[0])
+        sched = CascadingScheduler(wst, BpfArrayMap(1, name="sel"),
+                                   clock=lambda: clock[0])
+        return clock, wst, sched
+
+    def run(state) -> int:
+        clock, wst, sched = state
+        for i in range(calls):
+            clock[0] += 0.0001
+            worker = i % n_workers
+            wst.touch_timestamp(worker)
+            wst.add_events(worker, (i % 5) - 2)
+            wst.add_conns(worker, 1 if i % 3 else -1)
+            sched.schedule_and_sync()
+        return calls
+
+    return time_bench("scheduler_cascade", setup, run, unit="calls",
+                      repeats=repeats,
+                      meta={"n_workers": n_workers, "calls": calls})
+
+
+# ---------------------------------------------------------------------------
+# epoll_wakeup_fanout
+# ---------------------------------------------------------------------------
+
+class _FanoutFd:
+    """A minimal pollable fd: a wait queue and an explicit readiness mask."""
+
+    __slots__ = ("wait_queue", "ready")
+
+    def __init__(self):
+        from ..kernel.waitqueue import WaitQueue
+
+        self.wait_queue = WaitQueue()
+        self.ready = 0
+
+    def poll(self) -> int:
+        return self.ready
+
+
+def bench_epoll_wakeup_fanout(quick: bool = False,
+                              repeats: int = 3) -> BenchResult:
+    from ..kernel.epoll import Epoll
+    from ..kernel.socket import EPOLLIN
+    from ..sim.engine import Environment
+
+    n_workers = 32
+    rounds = 100 if quick else 1000
+
+    def waiter(env, epoll, counts, idx):
+        while True:
+            events = yield from epoll.wait(timeout=10.0)
+            counts[idx] += len(events)
+
+    def driver(env, fd):
+        for _ in range(rounds):
+            # Herd wake: every registered epoll's callback runs.
+            fd.wait_queue.wake(EPOLLIN)
+            yield env.timeout(1.0)
+
+    def setup():
+        env = Environment()
+        fd = _FanoutFd()
+        counts = [0] * n_workers
+        for i in range(n_workers):
+            epoll = Epoll(env, name=f"bench.w{i}", collect_stats=False,
+                          worker_id=i)
+            # Edge-triggered: each wake delivers exactly one event and the
+            # readiness does not persist — a clean repeatable fan-out.
+            epoll.ctl_add(fd, edge_triggered=True)
+            env.process(waiter(env, epoll, counts, i), name=f"waiter{i}")
+        env.process(driver(env, fd), name="driver")
+        return env, counts
+
+    def run(state) -> int:
+        env, counts = state
+        env.run(until=rounds + 5.0)
+        assert sum(counts) == n_workers * rounds
+        return n_workers * rounds
+
+    return time_bench("epoll_wakeup_fanout", setup, run, unit="wakeups",
+                      repeats=repeats,
+                      meta={"n_workers": n_workers, "rounds": rounds})
+
+
+# ---------------------------------------------------------------------------
+# macro_lb_run
+# ---------------------------------------------------------------------------
+
+def bench_macro_lb_run(quick: bool = False, repeats: int = 3) -> BenchResult:
+    from ..experiments.common import run_case_cell
+    from ..lb.server import NotificationMode
+
+    duration = 0.75 if quick else 2.5
+    n_workers = 8
+    extra: Dict[str, Any] = {}
+
+    def setup():
+        return None
+
+    def run(_state) -> int:
+        result = run_case_cell(NotificationMode.HERMES, "case2", "medium",
+                               n_workers=n_workers, duration=duration,
+                               seed=7, keep_server=True)
+        env = result.server.env
+        # Engine event count: present on the fast-path engine; older
+        # engines (the pre-PR baseline capture) lack the counter.
+        steps = getattr(env, "steps", None)
+        extra["completed"] = result.completed
+        extra["avg_ms"] = round(result.avg_ms, 4)
+        if steps is not None:
+            extra["engine_events"] = steps
+        return steps if steps is not None else result.completed
+
+    # End-to-end runs are seconds long; cap the repeats to keep --quick fast.
+    result = time_bench("macro_lb_run", setup, run,
+                        unit="events", repeats=min(repeats, 2),
+                        meta={"mode": "hermes", "case": "case2",
+                              "load": "medium", "n_workers": n_workers,
+                              "duration": duration})
+    if "engine_events" not in extra:
+        result.unit = "requests"
+    result.meta.update(extra)
+    return result

@@ -16,6 +16,38 @@ minimal — only the primitives the load-balancer model needs:
   the generator returns; supports :meth:`Process.interrupt`.
 - :class:`AnyOf` / :class:`AllOf` — condition events.
 
+Performance notes (the ``repro.perf`` fast path)
+------------------------------------------------
+The engine's per-event cost is the unit economics of every sweep in this
+repo, so the hot path is hand-flattened:
+
+- ``Environment.run`` inlines the pop/dispatch loop (no ``step()`` call,
+  no repeated attribute loads per event).
+- A process may ``yield delay`` (a plain float/int) instead of
+  ``yield env.timeout(delay)``: the engine schedules the resume directly
+  on the heap with the same (time, priority, insertion-order) key the
+  equivalent ``Timeout`` would have used, but allocates no event object
+  and runs no callback list.  The yield expression evaluates to ``None``,
+  exactly like a value-less timeout.
+- ``Environment.timeout``/``event`` inline the whole construct+schedule
+  sequence and draw from per-class free lists.  A processed ``Event`` or
+  ``Timeout`` is recycled back into its pool only when
+  ``sys.getrefcount`` proves the dispatch loop holds the sole remaining
+  reference, so user code that retains an event (``t = env.timeout(5);
+  yield t; t.value``) keeps exactly the semantics it always had.
+- Scheduling goes through one flat sequence (eid bump + ``heappush``);
+  ``Event.succeed``/``fail``/``Timeout.__init__`` perform it inline
+  instead of chaining through ``_schedule``.
+- ``AnyOf``/``AllOf`` maintain an incremental done-counter instead of
+  recounting every sub-event per trigger (O(n) total, was O(n²)).
+- ``schedule_callback`` allocates no per-event closure: the callable is
+  carried on a slot of the event and invoked by one shared function.
+
+None of this changes observable behaviour: event ordering (time, priority,
+insertion order), RNG draws, and error semantics are bit-identical to the
+straightforward implementation — pinned by the golden-hash determinism
+tests in ``tests/test_determinism_golden.py``.
+
 Example
 -------
 >>> env = Environment()
@@ -30,8 +62,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -49,6 +81,9 @@ __all__ = [
 URGENT = 0
 #: Priority for ordinary events.
 NORMAL = 1
+
+#: Free-list capacity per event class (beyond this, objects fall to the GC).
+_POOL_LIMIT = 1024
 
 
 class SimulationError(Exception):
@@ -83,7 +118,7 @@ class Event:
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list] = []
-        self._value: Any = Event.PENDING
+        self._value: Any = _PENDING
         self._ok: bool = True
         self._processed = False
         self._scheduled = False
@@ -92,7 +127,7 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True once the event has been scheduled to fire."""
-        return self._value is not Event.PENDING
+        return self._value is not _PENDING
 
     @property
     def processed(self) -> bool:
@@ -107,18 +142,22 @@ class Event:
     @property
     def value(self) -> Any:
         """The event's value; raises if still pending."""
-        if self._value is Event.PENDING:
+        if self._value is _PENDING:
             raise SimulationError("event value is not yet available")
         return self._value
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._value is not Event.PENDING:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, NORMAL, eid, self))
+        self._scheduled = True
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -126,13 +165,17 @@ class Event:
 
         The exception is re-raised in every waiting process.
         """
-        if self._value is not Event.PENDING:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, NORMAL, eid, self))
+        self._scheduled = True
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -155,6 +198,20 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+_PENDING = Event.PENDING
+
+# Shared "your timer fired" event handed to Process._resume by the direct
+# timer fast path.  It is permanently ok/None — exactly what a value-less
+# Timeout would deliver — so one immortal instance serves every fire.
+_TICK = object.__new__(Event)
+_TICK.env = None
+_TICK.callbacks = None
+_TICK._value = None
+_TICK._ok = True
+_TICK._processed = True
+_TICK._scheduled = True
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
@@ -163,11 +220,46 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flat init: every slot set exactly once, scheduling inlined (no
+        # super().__init__ that first writes PENDING just to overwrite it,
+        # no _schedule hop).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._processed = False
+        self._scheduled = True
+        self.delay = delay
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now + delay, NORMAL, eid, self))
+
+
+def _invoke_callback(event: "Event") -> None:
+    """Shared trampoline for :meth:`Environment.schedule_callback` events."""
+    event.fn()
+
+
+class _Callback(Timeout):
+    """A timeout carrying a plain callable on a slot (no closure per event)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, env: "Environment", delay: float,
+                 fn: Callable[[], None]):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.env = env
+        self.callbacks = [_invoke_callback]
+        self._value = None
+        self._ok = True
+        self._processed = False
+        self._scheduled = True
+        self.delay = delay
+        self.fn = fn
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now + delay, NORMAL, eid, self))
 
 
 class Initialize(Event):
@@ -176,11 +268,15 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resumer]
         self._value = None
-        env._schedule(self, URGENT)
+        self._ok = True
+        self._processed = False
+        self._scheduled = True
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, URGENT, eid, self))
 
 
 class Process(Event):
@@ -190,7 +286,7 @@ class Process(Event):
     returns (with the return value) or raises (with the exception).
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_resumer", "_sched_eid")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: Optional[str] = None):
@@ -200,12 +296,19 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: The one bound-method object used for every callback registration
+        #: (a fresh ``self._resume`` per suspend would allocate each time).
+        self._resumer = self._resume
+        #: eid of this process's own live heap entry (a ``yield delay``
+        #: direct timer, or the completion entry pushed by ``_finalize``).
+        #: Any popped entry whose eid differs is stale and is skipped.
+        self._sched_eid = -1
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return self._value is Event.PENDING
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process.
@@ -218,82 +321,158 @@ class Process(Event):
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
         # Deliver via an urgent event so interrupt wins races at equal time.
-        event = Event(self.env)
+        env = self.env
+        event = env.event()
         event._ok = False
         event._value = Interrupt(cause)
-        event.callbacks.append(self._resume)
-        self.env._schedule(event, URGENT)
-        # Detach from the event the process was waiting on.
+        event.callbacks.append(self._resumer)
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, URGENT, eid, event))
+        event._scheduled = True
+        # Detach from the event the process was waiting on.  A direct
+        # ``yield delay`` timer has no event to detach from: invalidating
+        # _sched_eid turns its heap entry stale, and the dispatch loop
+        # discards stale Process entries on pop.
+        self._sched_eid = -1
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resumer)
             except ValueError:
                 pass
         self._target = None
 
     # -- scheduling core ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._value is not _PENDING:
             # A stale wakeup (e.g. an interrupt racing process completion
             # at the same timestamp) must not touch a finished generator.
             return
         env = self.env
         env._active_process = self
+        self._target = None
+        generator = self.generator
+        if event._ok:
+            try:
+                target = generator.send(event._value)
+            except StopIteration as exc:
+                self._finalize(True, exc.value)
+                env._active_process = None
+                return
+            except BaseException as exc:
+                self._finalize(False, exc)
+                env._active_process = None
+                return
+        else:
+            # Propagate the failure (event error or interrupt) into the
+            # generator; it may catch it and keep running.
+            try:
+                target = generator.throw(event._value)
+            except StopIteration as stop:
+                self._finalize(True, stop.value)
+                env._active_process = None
+                return
+            except BaseException as err:
+                self._finalize(False, err)
+                env._active_process = None
+                return
+        cls = target.__class__
+        if (cls is float or cls is int) and target >= 0:
+            # Direct timer fast path: ``yield delay`` schedules the resume
+            # itself — same (time, priority, eid) key a Timeout would get,
+            # but no event object, no callback list.
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env._now + target, NORMAL, eid, self))
+            self._sched_eid = eid
+            env._active_process = None
+            return
+        self._continue(target)
+        env._active_process = None
+
+    def _continue(self, target: Any) -> None:
+        """Suspend on a yielded target (the non-direct-timer cases).
+
+        Loops while targets are already fired, stepping the generator with
+        their values; returns once the process is suspended (callback
+        registered or direct timer scheduled) or finished.  The caller owns
+        ``env._active_process``.
+        """
+        env = self.env
+        generator = self.generator
         while True:
-            if event._ok:
+            cls = target.__class__
+            if cls is float or cls is int:
+                if target >= 0:
+                    eid = env._eid
+                    env._eid = eid + 1
+                    heappush(env._queue,
+                             (env._now + target, NORMAL, eid, self))
+                    self._sched_eid = eid
+                    return
+                exc = SimulationError(f"negative timeout delay: {target}")
                 try:
-                    target = self.generator.send(event._value)
-                except StopIteration as exc:
-                    self._finalize(True, exc.value)
-                    break
-                except BaseException as exc:
-                    self._finalize(False, exc)
-                    break
-            else:
-                # Propagate the failure (event error or interrupt) into the
-                # generator; it may catch it and keep running.
-                try:
-                    target = self.generator.throw(event._value)
-                except StopIteration as stop:
-                    self._finalize(True, stop.value)
-                    break
+                    generator.throw(exc)
                 except BaseException as err:
                     self._finalize(False, err)
-                    break
+                    return
+                raise exc
 
             if not isinstance(target, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}")
                 try:
-                    self.generator.throw(exc)
+                    generator.throw(exc)
                 except BaseException as err:
                     self._finalize(False, err)
-                    break
+                    return
                 raise exc
 
             if target.env is not env:
                 raise SimulationError(
                     "cannot wait on an event from another environment")
 
-            if target._processed or (target.callbacks is None):
-                # Already fired: continue immediately with its value.
-                event = target
-                continue
-            target.callbacks.append(self._resume)
-            self._target = target
-            break
-        env._active_process = None
+            callbacks = target.callbacks
+            if not target._processed and callbacks is not None:
+                callbacks.append(self._resumer)
+                self._target = target
+                return
+
+            # Already fired: continue immediately with its value.
+            if target._ok:
+                try:
+                    target = generator.send(target._value)
+                except StopIteration as exc:
+                    self._finalize(True, exc.value)
+                    return
+                except BaseException as exc:
+                    self._finalize(False, exc)
+                    return
+            else:
+                try:
+                    target = generator.throw(target._value)
+                except StopIteration as stop:
+                    self._finalize(True, stop.value)
+                    return
+                except BaseException as err:
+                    self._finalize(False, err)
+                    return
 
     def _finalize(self, ok: bool, value: Any) -> None:
         self._ok = ok
         self._value = value
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, NORMAL, eid, self))
+        self._sched_eid = eid
+        self._scheduled = True
 
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composition events."""
 
-    __slots__ = ("events", "_pending")
+    __slots__ = ("events", "_pending", "_done", "_checker")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -302,16 +481,20 @@ class _Condition(Event):
             if event.env is not env:
                 raise SimulationError("all condition events must share an environment")
         self._pending = 0
+        #: Sub-events seen done (processed + ok) so far — incremented by
+        #: ``_check`` instead of recounting the whole list per trigger.
+        self._done = 0
         if not self.events:
             self.succeed({})
             return
+        checker = self._checker = self._check
         for event in self.events:
             if event.callbacks is None or event._processed:
-                self._check(event)
+                checker(event)
             else:
                 self._pending += 1
-                event.callbacks.append(self._check)
-        if self._value is Event.PENDING and self._pending == 0:
+                event.callbacks.append(checker)
+        if self._value is _PENDING and self._pending == 0:
             # All already processed but condition not yet met (AllOf met it
             # inside _check; AnyOf with zero events handled above).
             self._evaluate(final=True)
@@ -321,18 +504,18 @@ class _Condition(Event):
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self._value is not Event.PENDING:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             self.fail(event._value)
             return
-        done = sum(1 for ev in self.events if ev._processed and ev._ok)
+        done = self._done + 1
+        self._done = done
         if self._satisfied(done, len(self.events)):
             self.succeed(self._collect())
 
     def _evaluate(self, final: bool = False) -> None:
-        done = sum(1 for ev in self.events if ev._processed and ev._ok)
-        if self._satisfied(done, len(self.events)):
+        if self._satisfied(self._done, len(self.events)):
             self.succeed(self._collect())
         elif final:
             raise SimulationError("condition can never be satisfied")
@@ -363,11 +546,19 @@ class AllOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "steps",
+                 "_event_pool", "_timeout_pool")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
-        self._eid = count()
+        self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Events dispatched so far (the engine-throughput denominator).
+        self.steps = 0
+        # Free lists for recycled one-shot events (exact-class matched).
+        self._event_pool: list = []
+        self._timeout_pool: list = []
 
     @property
     def now(self) -> float:
@@ -382,10 +573,29 @@ class Environment:
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = _PENDING
+            event._ok = True
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` units from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            event = pool.pop()
+            event._value = value
+            event._ok = True
+            event._scheduled = True
+            event.delay = delay
+            eid = self._eid
+            self._eid = eid + 1
+            heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -403,30 +613,66 @@ class Environment:
         if event._scheduled:
             return
         event._scheduled = True
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, next(self._eid), event))
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run a plain callable after ``delay`` (no process needed)."""
-        event = self.timeout(delay)
-        event.callbacks.append(lambda _ev: fn())
-        return event
+        return _Callback(self, delay, fn)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def step(self) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
-            raise SimulationError("no more events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+    def _dispatch(self, event: Event) -> None:
+        """Process one popped event: run callbacks, maybe recycle it.
+
+        Recycling is gated on ``sys.getrefcount``: exactly two references
+        (the caller's local + the getrefcount argument) prove that no
+        process, condition, or user variable still holds the event, so
+        resetting it for reuse is invisible.
+        """
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
         for callback in callbacks:
             callback(event)
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+            if sys.getrefcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._processed = False
+                event._scheduled = False
+                event._value = _PENDING
+                pool.append(event)
+        elif cls is Event:
+            pool = self._event_pool
+            if sys.getrefcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._processed = False
+                event._scheduled = False
+                event._value = _PENDING
+                pool.append(event)
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, eid, event = heappop(self._queue)
+        self._now = when
+        self.steps += 1
+        if event.__class__ is Process:
+            if event._sched_eid != eid:
+                return  # stale direct-timer entry (interrupted/finished)
+            if event._value is _PENDING:
+                event._resume(_TICK)  # direct timer fired
+                return
+            # else: the completion entry — dispatch normally below.
+        self._dispatch(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.
@@ -435,14 +681,136 @@ class Environment:
         the queue drains earlier, so post-run measurements see a consistent
         horizon.
         """
-        if until is None:
-            while self._queue:
-                self.step()
-            return
-        limit = float(until)
-        if limit < self._now:
-            raise SimulationError(
-                f"cannot run backwards: now={self._now}, until={limit}")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
-        self._now = limit
+        # The dispatch loop is inlined (no step()/_dispatch() call per
+        # event); keep the three copies of the recycle block in sync.
+        queue = self._queue
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        getrefcount = sys.getrefcount
+        steps = 0
+        try:
+            if until is None:
+                while queue:
+                    when, _prio, eid, event = heappop(queue)
+                    self._now = when
+                    steps += 1
+                    cls = event.__class__
+                    if cls is Process:
+                        if event._sched_eid != eid:
+                            continue  # stale direct-timer entry
+                        if event._value is _PENDING:
+                            # Direct timer fired.  Inline the dominant
+                            # send → yield-another-delay cycle; defer any
+                            # other outcome to the generic machinery.
+                            self._active_process = event
+                            try:
+                                target = event.generator.send(None)
+                            except StopIteration as exc:
+                                self._active_process = None
+                                event._finalize(True, exc.value)
+                                continue
+                            except BaseException as exc:
+                                self._active_process = None
+                                event._finalize(False, exc)
+                                continue
+                            tcls = target.__class__
+                            if (tcls is float or tcls is int) and target >= 0:
+                                neid = self._eid
+                                self._eid = neid + 1
+                                heappush(queue,
+                                         (when + target, NORMAL, neid, event))
+                                event._sched_eid = neid
+                                self._active_process = None
+                                continue
+                            event._continue(target)
+                            self._active_process = None
+                            continue
+                        # else: completion entry — dispatch normally.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if cls is Timeout:
+                        if getrefcount(event) == 2 and \
+                                len(timeout_pool) < _POOL_LIMIT:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._processed = False
+                            event._scheduled = False
+                            event._value = _PENDING
+                            timeout_pool.append(event)
+                    elif cls is Event:
+                        if getrefcount(event) == 2 and \
+                                len(event_pool) < _POOL_LIMIT:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._processed = False
+                            event._scheduled = False
+                            event._value = _PENDING
+                            event_pool.append(event)
+                return
+            limit = float(until)
+            if limit < self._now:
+                raise SimulationError(
+                    f"cannot run backwards: now={self._now}, until={limit}")
+            while queue and queue[0][0] <= limit:
+                when, _prio, eid, event = heappop(queue)
+                self._now = when
+                steps += 1
+                cls = event.__class__
+                if cls is Process:
+                    if event._sched_eid != eid:
+                        continue  # stale direct-timer entry
+                    if event._value is _PENDING:
+                        # Direct timer fired (see the until=None loop).
+                        self._active_process = event
+                        try:
+                            target = event.generator.send(None)
+                        except StopIteration as exc:
+                            self._active_process = None
+                            event._finalize(True, exc.value)
+                            continue
+                        except BaseException as exc:
+                            self._active_process = None
+                            event._finalize(False, exc)
+                            continue
+                        tcls = target.__class__
+                        if (tcls is float or tcls is int) and target >= 0:
+                            neid = self._eid
+                            self._eid = neid + 1
+                            heappush(queue,
+                                     (when + target, NORMAL, neid, event))
+                            event._sched_eid = neid
+                            self._active_process = None
+                            continue
+                        event._continue(target)
+                        self._active_process = None
+                        continue
+                    # else: completion entry — dispatch normally.
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if cls is Timeout:
+                    if getrefcount(event) == 2 and \
+                            len(timeout_pool) < _POOL_LIMIT:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._processed = False
+                        event._scheduled = False
+                        event._value = _PENDING
+                        timeout_pool.append(event)
+                elif cls is Event:
+                    if getrefcount(event) == 2 and \
+                            len(event_pool) < _POOL_LIMIT:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._processed = False
+                        event._scheduled = False
+                        event._value = _PENDING
+                        event_pool.append(event)
+            self._now = limit
+        finally:
+            self.steps += steps

@@ -165,7 +165,7 @@ class TrafficGenerator:
         spec = self.spec
         try:
             if spec.first_request_delay > 0:
-                yield self.env.timeout(spec.first_request_delay)
+                yield spec.first_request_delay  # direct timer
             for i in range(n_requests):
                 if conn.state in (ConnState.RESET, ConnState.REFUSED):
                     self._on_reset(conn, n_requests - i, is_retry)
@@ -176,8 +176,9 @@ class TrafficGenerator:
                 if spec.request_timeout is not None:
                     self._arm_timeout(request, spec.request_timeout)
                 if spec.request_gap_mean > 0 and i < n_requests - 1:
-                    yield self.env.timeout(
-                        self.rng.expovariate(1.0 / spec.request_gap_mean))
+                    # Direct timer: the RNG draw order and the heap key are
+                    # identical to the env.timeout(...) form.
+                    yield self.rng.expovariate(1.0 / spec.request_gap_mean)
             if conn.state in (ConnState.RESET, ConnState.REFUSED):
                 self._on_reset(conn, 0, is_retry)
                 return

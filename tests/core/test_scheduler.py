@@ -158,3 +158,114 @@ class TestSync:
         wst.touch_timestamp(1)
         result = sched.schedule_and_sync()
         assert result.pass_ratio == pytest.approx(0.5)
+
+
+class TestFastPath:
+    """repro.perf satellites: hoisted rank table, identity filters,
+    zero-copy WST reads — all behaviour-preserving."""
+
+    def test_rank_table_hoisted_into_init(self):
+        sched, _, _, _ = make_scheduler(4)
+        assert sched._rank == {0: 0, 1: 1, 2: 2, 3: 3}
+        rank_before = sched._rank
+        sched.schedule_and_sync()
+        assert sched._rank is rank_before  # not rebuilt per call
+
+    def test_rank_is_local_for_sparse_worker_ids(self):
+        # Global ids above 63 must still map onto low bitmap bits.
+        clock = FakeClock()
+        wst = WorkerStatusTable(80, clock)
+        sched = CascadingScheduler(wst, BpfArrayMap(1), clock=clock,
+                                   worker_ids=[70, 75, 79])
+        result = sched.schedule_and_sync()
+        assert result.n_selected == 3
+        assert ids_from_bitmap(result.bitmap) == [0, 1, 2]
+
+    def test_no_drop_cascade_reuses_all_pass_bitmap(self):
+        sched, _, _, _ = make_scheduler(4)
+        result = sched.schedule_and_sync()
+        assert result.bitmap == sched._all_bitmap == 0b1111
+
+    def test_identity_fast_path_when_nothing_dropped(self):
+        sched, wst, _, clock = make_scheduler(4)
+        snapshot = wst.read_view()
+        selected = sched.select_workers(snapshot, clock())
+        assert selected is sched._all_candidates
+
+    def test_filters_still_drop_with_view_reads(self):
+        sched, wst, _, clock = make_scheduler(4, hang_threshold=1.0)
+        clock.now = 5.0
+        for w in (0, 1, 2):
+            wst.touch_timestamp(w)  # worker 3 stays stale
+        result = sched.schedule_and_sync()
+        assert result.n_selected == 3
+        assert ids_from_bitmap(result.bitmap) == [0, 1, 2]
+
+    def test_traced_drop_lists_match_set_based_diff(self):
+        class _Sink:
+            def __init__(self):
+                self.instants = []
+
+            def instant(self, name, cat, **fields):
+                self.instants.append((name, fields))
+
+            def begin(self, *a, **k):
+                pass
+
+            def end(self, *a, **k):
+                pass
+
+        sched, wst, _, clock = make_scheduler(4, hang_threshold=1.0)
+        sched.tracer = _Sink()
+        clock.now = 5.0
+        for w in (0, 2):
+            wst.touch_timestamp(w)
+        sched.schedule_and_sync()
+        time_stage = [f for n, f in sched.tracer.instants
+                      if n == "sched.filter" and f["stage"] == "time"]
+        assert time_stage and time_stage[0]["dropped"] == [1, 3]
+
+    def test_select_workers_result_must_not_be_mutated_shared_list(self):
+        # The identity fast path shares one list across calls: two no-drop
+        # cascades must return the same object with stable contents.
+        sched, wst, _, clock = make_scheduler(3)
+        a = sched.select_workers(wst.read_view(), clock())
+        b = sched.select_workers(wst.read_view(), clock())
+        assert a is b
+        assert a == [0, 1, 2]
+
+
+class TestWstView:
+    def test_view_matches_snapshot(self):
+        clock = FakeClock()
+        wst = WorkerStatusTable(3, clock)
+        wst.add_events(1, 4)
+        wst.add_conns(2, 7)
+        clock.now = 1.5
+        wst.touch_timestamp(0)
+        view = wst.read_view()
+        snap = wst.read_all()
+        assert tuple(view.times) == snap.times
+        assert tuple(view.events) == snap.events
+        assert tuple(view.conns) == snap.conns
+        assert view.n_workers == snap.n_workers == 3
+
+    def test_view_is_cached_and_counts_read_ops(self):
+        clock = FakeClock()
+        wst = WorkerStatusTable(2, clock)
+        before = wst.read_ops
+        v1 = wst.read_view()
+        v2 = wst.read_view()
+        assert v1 is v2  # zero-allocation steady state
+        assert wst.read_ops == before + 2
+
+    def test_torn_mode_falls_back_to_copying_snapshot(self):
+        from repro.core.wst import WstSnapshot
+        from repro.sim.rng import RngRegistry
+
+        clock = FakeClock()
+        rng = RngRegistry(3).stream("torn")
+        wst = WorkerStatusTable(2, clock, atomic=False,
+                                torn_read_prob=0.5, rng=rng)
+        snap = wst.read_view()
+        assert isinstance(snap, WstSnapshot)

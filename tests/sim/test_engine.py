@@ -279,12 +279,71 @@ def test_yield_non_event_fails_process():
     env = Environment()
 
     def bad(env):
-        yield 42
+        yield "not an event"
 
     p = env.process(bad(env))
     env.run()
     assert not p.ok
     assert isinstance(p.value, SimulationError)
+
+
+def test_yield_number_is_direct_timer():
+    # ``yield delay`` is the allocation-free equivalent of
+    # ``yield env.timeout(delay)``: same clock advance, value None.
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        got = yield 2.5
+        seen.append((env.now, got))
+        got = yield 1  # ints work too (bool is excluded)
+        seen.append((env.now, got))
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [(2.5, None), (3.5, None)]
+    assert p.ok and p.value == 3.5
+
+
+def test_yield_negative_number_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield -1.0
+
+    p = env.process(bad(env))
+    env.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+    assert "negative timeout delay" in str(p.value)
+
+
+def test_direct_timer_interrupt_leaves_stale_entry_harmless():
+    # Interrupting a process parked on a direct timer must invalidate the
+    # timer's heap entry: the process handles the interrupt, moves on, and
+    # the stale pop must not resume it a second time.
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield 10.0
+            log.append("timer fired")
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+        yield 1.0
+        log.append(("after", env.now))
+
+    def poker(env, target):
+        yield 3.0
+        target.interrupt("wake up")
+
+    p = env.process(sleeper(env))
+    env.process(poker(env, p))
+    env.run()  # drains the queue, including the stale entry at t=10
+    assert log == [("interrupted", 3.0, "wake up"), ("after", 4.0)]
+    assert p.ok
 
 
 def test_schedule_callback():
@@ -358,3 +417,98 @@ def test_nested_process_failure_propagates():
     p = env.process(parent(env))
     env.run()
     assert p.value == "child died"
+
+
+# -- repro.perf fast-path regression coverage -------------------------------
+
+def test_allof_wide_condition_incremental():
+    # 1k-event AllOf: the incremental done-counter must fire the condition
+    # exactly when the last sub-event processes (the recounting form was
+    # O(n^2) here) and collect every value.
+    env = Environment()
+    width = 1000
+    events = [env.timeout(float(i % 7), value=i) for i in range(width)]
+    cond = AllOf(env, events)
+    env.run()
+    assert cond.ok
+    assert len(cond.value) == width
+    assert sorted(cond.value.values()) == list(range(width))
+    assert cond._done == width
+
+
+def test_anyof_wide_condition_incremental():
+    env = Environment()
+    events = [env.timeout(5.0 + i, value=i) for i in range(1000)]
+    any_of = AnyOf(env, events)
+    env.run(until=5.0)
+    assert any_of.ok
+    assert list(any_of.value.values()) == [0]
+
+
+def test_schedule_callback_allocates_no_closure():
+    # Satellite: the deferred-call path must carry the callable on a slot
+    # and share one module-level trampoline — no per-event closure.
+    from repro.sim import engine
+
+    env = Environment()
+    fired = []
+
+    def cb():
+        fired.append(env.now)
+
+    ev = env.schedule_callback(3.0, cb)
+    assert ev.fn is cb                      # plain attribute, not a cell
+    assert ev.callbacks[0] is engine._invoke_callback  # shared trampoline
+    assert engine._invoke_callback.__closure__ is None
+    env.run()
+    assert fired == [3.0]
+
+
+def test_pooled_timeout_retained_by_user_is_not_recycled():
+    # getrefcount guard: a timeout the user still holds keeps its value.
+    env = Environment()
+    held = env.timeout(1.0, value="keep me")
+    results = []
+
+    def proc(env):
+        yield held
+        results.append(held.value)
+        # Churn more timeouts; none may alias the retained one.
+        for _ in range(10):
+            yield env.timeout(0.5)
+        results.append(held.value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == ["keep me", "keep me"]
+    assert held.processed
+
+
+def test_event_pool_reuse_preserves_semantics():
+    # Anonymous timeouts are recycled; behaviour stays indistinguishable.
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        for i in range(2000):
+            yield env.timeout(0.001)
+            seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert len(seen) == 2000
+    assert len(env._timeout_pool) >= 1  # the free list actually engaged
+
+
+def test_steps_counter_counts_dispatched_events():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        yield 1.0
+
+    p = env.process(proc(env))
+    env.run()
+    # Initialize + timeout + direct timer + process completion = 4 events.
+    assert env.steps == 4
+    assert p.ok
