@@ -1,6 +1,7 @@
 # Convenience targets for the Hermes reproduction.
 
-.PHONY: install test bench perf perf-check examples experiments clean
+.PHONY: install test bench perf perf-check sweep-check examples \
+    experiments clean
 
 install:
 	pip install -e .
@@ -23,6 +24,22 @@ perf-check:
 	PYTHONPATH=src python -m repro perf --quick \
 	    --out BENCH_perf.ci.json --check BENCH_perf.json
 
+# The sweep contract on a reduced Table-3 grid: parallel output must be
+# byte-identical to serial (what the CI sweep-smoke job checks).
+sweep-check:
+	PYTHONPATH=src python -m repro sweep table3 --seed 11 --jobs 1 \
+	    --no-cache --set 'cases=["case2"]' --set 'loads=["light"]' \
+	    --set duration_scale=0.15 --set n_workers=2 \
+	    --set 'ports=[20001,20002,20003]' --set settle=0.5 \
+	    --out sweep.serial.json
+	PYTHONPATH=src python -m repro sweep table3 --seed 11 --jobs 4 \
+	    --no-cache --set 'cases=["case2"]' --set 'loads=["light"]' \
+	    --set duration_scale=0.15 --set n_workers=2 \
+	    --set 'ports=[20001,20002,20003]' --set settle=0.5 \
+	    --out sweep.parallel.json
+	cmp sweep.serial.json sweep.parallel.json
+	@echo "parallel sweep is byte-identical to serial"
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
 
@@ -31,5 +48,5 @@ experiments:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
-	    benchmarks/results .benchmarks
+	    benchmarks/results .benchmarks .sweep-cache sweep.*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -7,6 +7,8 @@
     python -m repro trace --case case2 --load medium --out trace.json
     python -m repro compare --case case3 --load heavy
     python -m repro experiment table3
+    python -m repro sweep table3 --jobs 4
+    python -m repro list --json
     python -m repro list-experiments
     python -m repro chaos --plan plan.json --mode hermes
     python -m repro resilience --seed 7 --out matrix.json
@@ -15,36 +17,43 @@
 ``run`` drives one device in one mode (``--trace`` additionally records a
 Chrome/Perfetto trace); ``trace`` runs a scenario with full tracing and
 prints the per-request critical-path breakdown; ``compare`` A/Bs all
-Table-3 modes on identical traffic; ``experiment`` executes a named paper
-experiment's standalone harness; ``chaos`` arms a declarative
+Table-3 modes on identical traffic; ``experiment`` runs one registered
+experiment through the unified Scenario API and prints its paper table;
+``sweep`` runs the same grid decomposed into cells — parallel across
+processes (``--jobs``), memoized in a content-addressed cache, merged
+byte-identically to a serial run; ``list`` prints registry metadata
+(``--json`` for machines); ``chaos`` arms a declarative
 :class:`repro.faults.FaultPlan` against one device and prints the fault
 timeline next to the usual metrics; ``resilience`` runs the fault ×
 notification-mode matrix (``--out`` writes canonical JSON, byte-identical
 for identical seeds — the determinism check CI relies on); ``perf`` runs
 the calibrated benchmark suite (:mod:`repro.perf`) and writes the canonical
 ``BENCH_perf.json`` report, optionally gating on a committed baseline.
+
+``run``, ``experiment``, ``chaos``, ``resilience`` and ``sweep`` share the
+same ``--seed`` / ``--out`` / ``--jobs`` contract: explicit seed, optional
+canonical-JSON output, worker process count (single-device commands accept
+``--jobs`` for interface uniformity and validate it, but execute their one
+cell in-process).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
-import runpy
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.reporting import render_table
+from .experiments.registry import EXPERIMENT_MODULES
 from .lb.server import NotificationMode
 
 __all__ = ["main", "build_parser"]
 
-#: Experiment modules exposed through ``experiment <name>``.
-EXPERIMENTS = [
-    "table1", "table2", "table3", "table4", "table5",
-    "fig3", "fig45", "fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "figa4", "figa5", "sec7", "appc", "ablations", "pool_capacity",
-    "isolation", "scaling",
-]
+#: Experiment names exposed through ``experiment``/``sweep``/``list`` —
+#: sourced from the registry so the CLI cannot drift from the package.
+EXPERIMENTS = list(EXPERIMENT_MODULES)
 
 _CASES = ("case1", "case2", "case3", "case4")
 _LOADS = ("light", "medium", "heavy")
@@ -55,6 +64,44 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for cell execution "
+                             "(default: 1 = serial)")
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set key=value`` grid overrides.
+
+    Values parse as JSON when possible (``n_workers=2``,
+    ``cases=["case1"]``) and fall back to plain strings (``load=light``).
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, text = pair.partition("=")
+        if not sep or not key:
+            raise argparse.ArgumentTypeError(
+                f"override {pair!r} is not key=value")
+        try:
+            overrides[key] = json.loads(text)
+        except json.JSONDecodeError:
+            overrides[key] = text
+    return overrides
+
+
+def _write_json(path: str, payload: str) -> bool:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    return True
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="record a Chrome/Perfetto trace to PATH")
+    run.add_argument("--out", metavar="PATH", default=None,
+                     help="also write the run summary as canonical JSON")
+    _add_jobs(run)
 
     trace = sub.add_parser(
         "trace", help="run a scenario with full tracing and write a "
@@ -108,8 +158,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="include herd/rr/io_uring/dispatcher too")
 
     experiment = sub.add_parser(
-        "experiment", help="run a paper experiment's standalone harness")
+        "experiment", help="run a registered paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--seed", type=int, default=None,
+                            help="base seed (default: the experiment's "
+                                 "registered default)")
+    experiment.add_argument("--out", metavar="PATH", default=None,
+                            help="also write the merged result as "
+                                 "canonical JSON")
+    _add_jobs(experiment)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment as a parallel, cached cell sweep")
+    sweep.add_argument("name", choices=EXPERIMENTS)
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="base seed (default: the experiment's "
+                            "registered default)")
+    sweep.add_argument("--out", metavar="PATH", default=None,
+                       help="write the canonical sweep document to PATH")
+    _add_jobs(sweep)
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cell cache directory (default: .sweep-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable cell memoization entirely")
+    sweep.add_argument("--force", action="store_true",
+                       help="ignore cached cells (still refresh the cache)")
+    sweep.add_argument("--set", action="append", default=None,
+                       metavar="KEY=VALUE", dest="overrides",
+                       help="grid override, JSON-parsed (repeatable), "
+                            "e.g. --set n_workers=2")
+    sweep.add_argument("--require-cached", action="store_true",
+                       help="fail if any cell had to execute (CI check "
+                            "that a warm cache fully covers the grid)")
+
+    list_cmd = sub.add_parser(
+        "list", help="list registered experiments (registry metadata)")
+    list_cmd.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit machine-readable registry metadata")
 
     sub.add_parser("list-experiments", help="list experiment names")
 
@@ -126,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--trace", metavar="PATH", default=None,
                        help="record a Chrome/Perfetto trace to PATH")
+    chaos.add_argument("--out", metavar="PATH", default=None,
+                       help="also write the run summary as canonical JSON")
+    _add_jobs(chaos)
 
     resilience = sub.add_parser(
         "resilience", help="fault x mode resilience matrix")
@@ -136,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run only this scenario (repeatable)")
     resilience.add_argument("--out", metavar="PATH", default=None,
                             help="also write the matrix as canonical JSON")
+    _add_jobs(resilience)
 
     perf = sub.add_parser(
         "perf", help="run the calibrated benchmark suite and write "
@@ -181,6 +270,11 @@ def _cmd_run(args) -> int:
          ["cpu SD", f"{result.cpu_sd * 100:.2f}%"],
          ["accepted/worker", str(result.accepted_per_worker)]],
         title=f"{result.mode} on {result.workload}"))
+    if getattr(args, "out", None):
+        if not _write_json(args.out, json.dumps(result.to_doc(),
+                                                indent=2, sort_keys=True)):
+            return 1
+        print(f"summary -> {args.out}")
     if tracer is not None:
         from .obs import write_chrome_trace
         try:
@@ -264,7 +358,41 @@ def _cmd_compare(args) -> int:
 
 def _cmd_experiment(args) -> int:
     # argparse validated the name against EXPERIMENTS already.
-    runpy.run_module(f"repro.experiments.{args.name}", run_name="__main__")
+    from .sweep import run_sweep
+
+    result = run_sweep(args.name, seed=args.seed, jobs=args.jobs,
+                       cache=False)
+    print(result.render())
+    if args.out:
+        if not _write_json(args.out, result.to_json()):
+            return 1
+        print(f"result: {len(result.runs)} cells -> {args.out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .sweep import run_sweep
+
+    try:
+        overrides = _parse_overrides(args.overrides or [])
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    cache = False if args.no_cache else (args.cache_dir or True)
+    result = run_sweep(args.name, seed=args.seed, jobs=args.jobs,
+                       cache=cache, overrides=overrides, force=args.force)
+    print(result.render())
+    print(f"sweep: {len(result.runs)} cells "
+          f"({result.executed} executed, {result.cached} cached) "
+          f"jobs={result.jobs} wall={result.wall_seconds:.2f}s")
+    if args.out:
+        if not _write_json(args.out, result.to_json()):
+            return 1
+        print(f"sweep document -> {args.out}")
+    if args.require_cached and result.executed:
+        print(f"error: --require-cached but {result.executed} cell(s) "
+              f"executed (cache miss)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -330,6 +458,15 @@ def _cmd_chaos(args) -> int:
          ["p99 latency (ms)", f"{summary['p99_ms']:.3f}"],
          ["throughput (kRPS)", f"{summary['throughput_rps'] / 1e3:.2f}"]],
         title=f"{mode.value} on {spec.name} under {args.plan}"))
+    if getattr(args, "out", None):
+        doc = dict(summary, mode=mode.value, workload=spec.name,
+                   seed=args.seed, faults_fired=injector.faults_fired,
+                   faults_cleared=injector.faults_cleared,
+                   fault_log=injector.log)
+        if not _write_json(args.out, json.dumps(doc, indent=2,
+                                                sort_keys=True)):
+            return 1
+        print(f"summary -> {args.out}")
     if tracer is not None:
         from .obs import write_chrome_trace
         try:
@@ -344,7 +481,8 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_resilience(args) -> int:
-    from .faults import SCENARIOS, render_matrix, run_resilience_matrix
+    from .faults import SCENARIOS
+    from .sweep import run_sweep
 
     if args.scenarios:
         unknown = [s for s in args.scenarios if s not in SCENARIOS]
@@ -352,18 +490,20 @@ def _cmd_resilience(args) -> int:
             print(f"error: unknown scenario(s) {', '.join(unknown)}; "
                   f"choose from {', '.join(SCENARIOS)}", file=sys.stderr)
             return 1
-    matrix = run_resilience_matrix(seed=args.seed, n_workers=args.workers,
-                                   scenarios=args.scenarios)
-    print(render_matrix(matrix))
+    overrides = {"n_workers": args.workers}
+    if args.scenarios:
+        overrides["scenarios"] = list(args.scenarios)
+    # The sweep's merged document IS the canonical matrix payload, so the
+    # JSON below is byte-identical to ResilienceMatrix.to_json(indent=2)
+    # whatever --jobs is.
+    result = run_sweep("resilience", seed=args.seed, jobs=args.jobs,
+                       cache=False, overrides=overrides)
+    print(result.render())
     if args.out:
-        try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(matrix.to_json(indent=2))
-                handle.write("\n")
-        except OSError as exc:
-            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        if not _write_json(args.out, json.dumps(result.merged, indent=2,
+                                                sort_keys=True)):
             return 1
-        print(f"matrix: {len(matrix.cells)} cells -> {args.out}")
+        print(f"matrix: {len(result.runs)} cells -> {args.out}")
     return 0
 
 
@@ -401,11 +541,25 @@ def _cmd_perf(args) -> int:
     return 0
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list_experiments(_args) -> int:
     for name in EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
         doc = (module.__doc__ or "").strip().splitlines()
         print(f"{name:14s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from .experiments import registry
+
+    if args.as_json:
+        print(json.dumps([registry.describe(name) for name in EXPERIMENTS],
+                         indent=2, sort_keys=True))
+        return 0
+    for name in EXPERIMENTS:
+        info = registry.describe(name)
+        print(f"{name:14s} cells={info['n_cells']:3d} "
+              f"seed={info['default_seed']:4d}  {info['title']}")
     return 0
 
 
@@ -416,7 +570,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
-        "list-experiments": _cmd_list,
+        "sweep": _cmd_sweep,
+        "list": _cmd_list,
+        "list-experiments": _cmd_list_experiments,
         "chaos": _cmd_chaos,
         "resilience": _cmd_resilience,
         "perf": _cmd_perf,

@@ -22,6 +22,7 @@ from ..core.config import HermesConfig
 from ..lb.server import NotificationMode
 from ..workloads.cases import build_case_workload
 from .common import CellResult, run_spec
+from .registry import CellSpec, ExperimentSpec, deprecated, register
 
 __all__ = [
     "run_filter_order_ablation",
@@ -48,7 +49,7 @@ def _run_hermes(config: HermesConfig, case: str, load: str,
 # 1. Filter order / subsets.
 # ---------------------------------------------------------------------------
 
-def run_filter_order_ablation(
+def _run_filter_order_ablation(
         orders: Sequence[Tuple[str, ...]] = (
             ("time", "conn", "event"),   # the paper's cascade
             ("event", "conn", "time"),
@@ -70,7 +71,7 @@ def run_filter_order_ablation(
 # 2. Scheduler placement (end vs start of loop).
 # ---------------------------------------------------------------------------
 
-def run_scheduler_placement_ablation(
+def _run_scheduler_placement_ablation(
         case: str = "case2", load: str = "medium", n_workers: int = 8,
         duration: float = 4.0, seed: int = 101,
         ) -> Dict[str, CellResult]:
@@ -128,7 +129,7 @@ def run_scheduler_placement_ablation(
 # 3. Two-stage filtering vs single best worker.
 # ---------------------------------------------------------------------------
 
-def run_single_worker_ablation(
+def _run_single_worker_ablation(
         case: str = "case1", load: str = "medium", n_workers: int = 8,
         duration: float = 3.0, seed: int = 103,
         sync_interval: float = 0.020) -> Dict[str, CellResult]:
@@ -186,7 +187,7 @@ def run_single_worker_ablation(
 # 4. Kernel fallback threshold.
 # ---------------------------------------------------------------------------
 
-def run_min_workers_ablation(
+def _run_min_workers_ablation(
         values: Sequence[int] = (1, 2, 4),
         case: str = "case2", load: str = "heavy", n_workers: int = 8,
         duration: float = 4.0, seed: int = 107) -> Dict[int, CellResult]:
@@ -202,7 +203,7 @@ def run_min_workers_ablation(
 # 5. Metric collection cost (§5.1.1): cheap counters vs USS-style metrics.
 # ---------------------------------------------------------------------------
 
-def run_metric_cost_ablation(
+def _run_metric_cost_ablation(
         case: str = "case1", load: str = "medium", n_workers: int = 8,
         duration: float = 3.0, seed: int = 105) -> Dict[str, CellResult]:
     """§5.1.1 rejects metrics that are accurate but expensive to collect:
@@ -256,9 +257,9 @@ class UpdateChannelCost:
 PULL_ROUNDTRIP_COST = 10e-6
 
 
-def update_channel_costs(case: str = "case1", load: str = "heavy",
-                         n_workers: int = 8, duration: float = 3.0,
-                         seed: int = 109) -> UpdateChannelCost:
+def _update_channel_costs(case: str = "case1", load: str = "heavy",
+                          n_workers: int = 8, duration: float = 3.0,
+                          seed: int = 109) -> UpdateChannelCost:
     result = _run_hermes(HermesConfig(), case, load, n_workers, duration,
                          seed, keep_server=True)
     server = result.server
@@ -274,27 +275,128 @@ def update_channel_costs(case: str = "case1", load: str = "heavy",
         pull_critical_path_latency=PULL_ROUNDTRIP_COST)
 
 
+# ---------------------------------------------------------------------------
+# Registry wiring: one cell per ablation section.
+# ---------------------------------------------------------------------------
+
+def _update_channel_line(cost: UpdateChannelCost) -> str:
+    return (f"update channel: push {cost.push_updates_per_sec:.0f}/s "
+            f"({cost.push_cpu_share * 100:.2f}% CPU, off-path) vs pull "
+            f"{cost.pull_interactions_per_sec:.0f}/s "
+            f"({cost.pull_cpu_share * 100:.2f}% CPU, on the SYN path; "
+            f"x{cost.cpu_ratio:.1f})")
+
+
+#: (cell key, seed offset) — offsets reproduce each section's legacy
+#: default seed from the experiment's base seed (97).
+_SECTIONS = (("filter_order", 0), ("scheduler_placement", 4),
+             ("single_worker", 6), ("min_workers", 10),
+             ("metric_cost", 8), ("update_channel", 12))
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "duration_scale": overrides.get("duration_scale", 1.0)}
+    return tuple(CellSpec("ablations", key, dict(params), seed + offset)
+                 for key, offset in _SECTIONS)
+
+
+def _run_cell(cell):
+    n_workers = cell.params["n_workers"]
+    scale = cell.params["duration_scale"]
+    seed = cell.seed
+    key = cell.key
+    if key == "filter_order":
+        results = _run_filter_order_ablation(
+            n_workers=n_workers, duration=4.0 * scale, seed=seed)
+        lines = ["filter order ablation (case2 medium):"]
+        doc: Dict[str, dict] = {}
+        for order, r in results.items():
+            label = ",".join(order) or "(none)"
+            doc[label] = r.to_doc()
+            lines.append(f"  {label:24s} avg {r.avg_ms:8.2f} ms  "
+                         f"p99 {r.p99_ms:9.2f} ms")
+        return {"results": doc, "rendered": "\n".join(lines)}
+    if key == "scheduler_placement":
+        results = _run_scheduler_placement_ablation(
+            n_workers=n_workers, duration=4.0 * scale, seed=seed)
+        lines = ["scheduler placement:"]
+        lines += [f"  {name:14s} avg {r.avg_ms:8.2f} ms  "
+                  f"p99 {r.p99_ms:9.2f} ms" for name, r in results.items()]
+        return {"results": {k: r.to_doc() for k, r in results.items()},
+                "rendered": "\n".join(lines)}
+    if key == "single_worker":
+        results = _run_single_worker_ablation(
+            n_workers=n_workers, duration=3.0 * scale, seed=seed)
+        lines = ["two-stage vs single worker (case1 medium):"]
+        lines += [f"  {name:14s} avg {r.avg_ms:8.2f} ms  "
+                  f"p99 {r.p99_ms:9.2f} ms" for name, r in results.items()]
+        return {"results": {k: r.to_doc() for k, r in results.items()},
+                "rendered": "\n".join(lines)}
+    if key == "min_workers":
+        results = _run_min_workers_ablation(
+            n_workers=n_workers, duration=4.0 * scale, seed=seed)
+        lines = ["min_workers (case2 heavy):"]
+        lines += [f"  n>={k}: avg {r.avg_ms:8.2f} ms  "
+                  f"p99 {r.p99_ms:9.2f} ms" for k, r in results.items()]
+        return {"results": {str(k): r.to_doc() for k, r in results.items()},
+                "rendered": "\n".join(lines)}
+    if key == "metric_cost":
+        results = _run_metric_cost_ablation(
+            n_workers=n_workers, duration=3.0 * scale, seed=seed)
+        lines = ["metric collection cost (case1 medium):"]
+        lines += [f"  {name:18s} avg {r.avg_ms:8.2f} ms  thr "
+                  f"{r.throughput_rps:8.0f} rps"
+                  for name, r in results.items()]
+        return {"results": {k: r.to_doc() for k, r in results.items()},
+                "rendered": "\n".join(lines)}
+    from dataclasses import asdict
+    cost = _update_channel_costs(
+        n_workers=n_workers, duration=3.0 * scale, seed=seed)
+    return dict(asdict(cost), cpu_ratio=cost.cpu_ratio,
+                rendered=_update_channel_line(cost))
+
+
+def _merge(cells, docs):
+    return {"cells": {cell.key: doc for cell, doc in zip(cells, docs)},
+            "rendered": "\n".join(doc["rendered"] for doc in docs)}
+
+
+register(ExperimentSpec(
+    name="ablations", title="Design-choice ablations (§5 discussion)",
+    cells=_cells, run_cell=_run_cell, merge=_merge,
+    render=lambda merged: merged["rendered"], default_seed=97))
+
+run_filter_order_ablation = deprecated(
+    _run_filter_order_ablation, "registry.get('ablations').run()")
+run_scheduler_placement_ablation = deprecated(
+    _run_scheduler_placement_ablation, "registry.get('ablations').run()")
+run_single_worker_ablation = deprecated(
+    _run_single_worker_ablation, "registry.get('ablations').run()")
+run_min_workers_ablation = deprecated(
+    _run_min_workers_ablation, "registry.get('ablations').run()")
+run_metric_cost_ablation = deprecated(
+    _run_metric_cost_ablation, "registry.get('ablations').run()")
+update_channel_costs = deprecated(
+    _update_channel_costs, "registry.get('ablations').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     print("filter order ablation (case2 medium):")
-    for order, r in run_filter_order_ablation().items():
+    for order, r in _run_filter_order_ablation().items():
         print(f"  {','.join(order) or '(none)':24s} avg {r.avg_ms:8.2f} ms  "
               f"p99 {r.p99_ms:9.2f} ms")
     print("scheduler placement:")
-    for name, r in run_scheduler_placement_ablation().items():
+    for name, r in _run_scheduler_placement_ablation().items():
         print(f"  {name:14s} avg {r.avg_ms:8.2f} ms  p99 {r.p99_ms:9.2f} ms")
     print("two-stage vs single worker (case1 medium):")
-    for name, r in run_single_worker_ablation().items():
+    for name, r in _run_single_worker_ablation().items():
         print(f"  {name:14s} avg {r.avg_ms:8.2f} ms  p99 {r.p99_ms:9.2f} ms")
     print("min_workers (case2 heavy):")
-    for k, r in run_min_workers_ablation().items():
+    for k, r in _run_min_workers_ablation().items():
         print(f"  n>={k}: avg {r.avg_ms:8.2f} ms  p99 {r.p99_ms:9.2f} ms")
     print("metric collection cost (case1 medium):")
-    for name, r in run_metric_cost_ablation().items():
+    for name, r in _run_metric_cost_ablation().items():
         print(f"  {name:18s} avg {r.avg_ms:8.2f} ms  thr "
               f"{r.throughput_rps:8.0f} rps")
-    cost = update_channel_costs()
-    print(f"update channel: push {cost.push_updates_per_sec:.0f}/s "
-          f"({cost.push_cpu_share * 100:.2f}% CPU, off-path) vs pull "
-          f"{cost.pull_interactions_per_sec:.0f}/s "
-          f"({cost.pull_cpu_share * 100:.2f}% CPU, on the SYN path; "
-          f"x{cost.cpu_ratio:.1f})")
+    print(_update_channel_line(_update_channel_costs()))

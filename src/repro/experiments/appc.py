@@ -24,6 +24,7 @@ from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
 from ..workloads.cases import build_case_workload
 from ..workloads.generator import TrafficGenerator
+from .registry import CellSpec, ExperimentSpec, deprecated, register
 
 __all__ = ["GroupLocalityResult", "run_group_locality",
            "WideDeviceResult", "run_wide_device"]
@@ -41,9 +42,9 @@ class GroupLocalityResult:
     avg_ms: float
 
 
-def run_group_locality(group_size: int, n_workers: int = 8,
-                       n_ports: int = 16, duration: float = 3.0,
-                       seed: int = 83) -> GroupLocalityResult:
+def _run_group_locality(group_size: int, n_workers: int = 8,
+                        n_ports: int = 16, duration: float = 3.0,
+                        seed: int = 83) -> GroupLocalityResult:
     """One point of the locality/balance trade-off curve."""
     env = Environment()
     registry = RngRegistry(seed)
@@ -94,8 +95,8 @@ class WideDeviceResult:
     completed: int
 
 
-def run_wide_device(n_workers: int = 128, duration: float = 2.0,
-                    seed: int = 89) -> WideDeviceResult:
+def _run_wide_device(n_workers: int = 128, duration: float = 2.0,
+                     seed: int = 89) -> WideDeviceResult:
     """A 128-worker device: two-level selection must engage (2 groups)."""
     env = Environment()
     registry = RngRegistry(seed)
@@ -121,12 +122,64 @@ def run_wide_device(n_workers: int = 128, duration: float = 2.0,
     )
 
 
+def _locality_line(r: GroupLocalityResult) -> str:
+    return (f"group size {r.group_size}: groups {r.n_groups}  locality "
+            f"{r.locality_score:.2f}  balance {r.balance_score:.3f}  "
+            f"avg {r.avg_ms:.2f} ms")
+
+
+def _wide_line(wide: WideDeviceResult) -> str:
+    return (f"{wide.n_workers} workers: {wide.n_groups} groups, all used: "
+            f"{wide.all_groups_used}, fairness {wide.conn_fairness:.3f}")
+
+
+def _cells(seed, overrides):
+    sizes = tuple(overrides.get("group_sizes", (1, 2, 4, 8)))
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "n_ports": overrides.get("n_ports", 16),
+              "duration": overrides.get("duration", 3.0)}
+    cells = [CellSpec("appc", f"group{size}",
+                      dict(params, group_size=size), seed)
+             for size in sizes]
+    cells.append(CellSpec(
+        "appc", "wide",
+        {"n_workers": overrides.get("wide_workers", 128),
+         "duration": overrides.get("wide_duration", 2.0)}, seed + 6))
+    return tuple(cells)
+
+
+def _run_cell(cell):
+    from dataclasses import asdict
+    p = cell.params
+    if cell.key == "wide":
+        wide = _run_wide_device(n_workers=p["n_workers"],
+                                duration=p["duration"], seed=cell.seed)
+        return dict(asdict(wide), rendered=_wide_line(wide))
+    r = _run_group_locality(p["group_size"], n_workers=p["n_workers"],
+                            n_ports=p["n_ports"], duration=p["duration"],
+                            seed=cell.seed)
+    return dict(asdict(r), rendered=_locality_line(r))
+
+
+def _merge(cells, docs):
+    return {"cells": {cell.key: doc for cell, doc in zip(cells, docs)},
+            "rendered": "\n".join(doc["rendered"] for doc in docs)}
+
+
+register(ExperimentSpec(
+    name="appc", title="Group scheduling: locality vs balance (App. C)",
+    cells=_cells, run_cell=_run_cell, merge=_merge,
+    render=lambda merged: merged["rendered"], default_seed=83))
+
+run_group_locality = deprecated(_run_group_locality,
+                                "registry.get('appc').run()")
+run_wide_device = deprecated(_run_wide_device,
+                             "registry.get('appc').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     for size in (1, 2, 4, 8):
-        r = run_group_locality(size)
-        print(f"group size {size}: groups {r.n_groups}  locality "
-              f"{r.locality_score:.2f}  balance {r.balance_score:.3f}  "
-              f"avg {r.avg_ms:.2f} ms")
-    wide = run_wide_device()
+        print(_locality_line(_run_group_locality(size)))
+    wide = _run_wide_device()
     print(f"128 workers: {wide.n_groups} groups, all used: "
           f"{wide.all_groups_used}, fairness {wide.conn_fairness:.3f}")

@@ -19,7 +19,8 @@ from ..sim.rng import RngRegistry
 from ..workloads.cases import build_case_workload
 from ..workloads.generator import TrafficGenerator, WorkloadSpec
 
-__all__ = ["CellResult", "run_spec", "run_case_cell", "MODES_UNDER_TEST"]
+__all__ = ["CellResult", "run_spec", "run_case_cell", "MODES_UNDER_TEST",
+           "DEFAULT_SEED", "resolve_seed"]
 
 #: The three modes Table 3 compares.
 MODES_UNDER_TEST = (
@@ -27,6 +28,18 @@ MODES_UNDER_TEST = (
     NotificationMode.REUSEPORT,
     NotificationMode.HERMES,
 )
+
+#: The harness-wide fallback seed.  Callers that care about identity (the
+#: registry, the sweep cache) always pass an explicit seed; this exists so
+#: interactive use keeps working.
+DEFAULT_SEED = 7
+
+
+def resolve_seed(seed: Optional[int]) -> int:
+    """Collapse ``None`` to :data:`DEFAULT_SEED` — the single place the
+    fallback is applied, so a cell invoked directly or via the registry
+    derives its RNG streams from the same value and hashes identically."""
+    return DEFAULT_SEED if seed is None else seed
 
 
 @dataclass
@@ -53,9 +66,39 @@ class CellResult:
         """(avg_ms, p99_ms, throughput) — the Table 3 cell format."""
         return (self.avg_ms, self.p99_ms, self.throughput_rps / 1e3)
 
+    def to_doc(self) -> dict:
+        """JSON-safe document (drops the live ``server`` handle)."""
+        return {
+            "mode": self.mode,
+            "workload": self.workload,
+            "avg_ms": self.avg_ms,
+            "p99_ms": self.p99_ms,
+            "throughput_rps": self.throughput_rps,
+            "completed": self.completed,
+            "failed": self.failed,
+            "refused": self.refused,
+            "cpu_sd": self.cpu_sd,
+            "conn_sd": self.conn_sd,
+            "cpu_utils": list(self.cpu_utils),
+            "accepted_per_worker": list(self.accepted_per_worker),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "CellResult":
+        """Rebuild from :meth:`to_doc` output (``server`` is gone)."""
+        return cls(
+            mode=doc["mode"], workload=doc["workload"],
+            avg_ms=doc["avg_ms"], p99_ms=doc["p99_ms"],
+            throughput_rps=doc["throughput_rps"],
+            completed=doc["completed"], failed=doc["failed"],
+            refused=doc["refused"], cpu_sd=doc["cpu_sd"],
+            conn_sd=doc["conn_sd"], cpu_utils=list(doc["cpu_utils"]),
+            accepted_per_worker=list(doc["accepted_per_worker"]),
+        )
+
 
 def run_spec(mode: NotificationMode, spec: WorkloadSpec,
-             n_workers: int, seed: int = 7,
+             n_workers: int, seed: Optional[int] = None,
              ports: Optional[Sequence[int]] = None,
              config: Optional[HermesConfig] = None,
              profile: Optional[ServiceProfile] = None,
@@ -71,7 +114,7 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
     the whole stack; it observes only and cannot change the results.
     """
     env = Environment()
-    registry = RngRegistry(seed)
+    registry = RngRegistry(resolve_seed(seed))
     server = LBServer(
         env, n_workers=n_workers,
         ports=list(ports) if ports is not None else list(spec.ports),
@@ -109,19 +152,28 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
 def run_case_cell(mode: NotificationMode, case: str, load: str,
                   n_workers: int = 16, duration: float = 4.0,
                   ports: Sequence[int] = (443,),
-                  seed: int = 7, **kwargs) -> CellResult:
-    """Run one (mode, case, load) cell of Table 3."""
+                  seed: Optional[int] = None, **kwargs) -> CellResult:
+    """Run one (mode, case, load) cell of Table 3.
+
+    The RNG streams derive from the spec'd seed (``None`` falls back via
+    :func:`resolve_seed`), never from mutable module state, so identical
+    arguments produce identical results in any process.
+    """
     spec = build_case_workload(case, load, n_workers=n_workers,
                                duration=duration, ports=ports)
-    return run_spec(mode, spec, n_workers=n_workers, seed=seed, **kwargs)
+    return run_spec(mode, spec, n_workers=n_workers,
+                    seed=resolve_seed(seed), **kwargs)
 
 
 def compare_modes(case: str, load: str, n_workers: int = 16,
                   duration: float = 4.0, ports: Sequence[int] = (443,),
-                  seed: int = 7,
+                  seed: Optional[int] = None,
                   modes: Sequence[NotificationMode] = MODES_UNDER_TEST,
                   **kwargs) -> Dict[str, CellResult]:
-    """All modes on identical traffic for one (case, load) cell."""
+    """All modes on identical traffic for one (case, load) cell.
+
+    Every mode sees the same resolved seed, hence byte-identical traffic."""
+    resolved = resolve_seed(seed)
     return {mode.value: run_case_cell(
         mode, case, load, n_workers=n_workers, duration=duration,
-        ports=ports, seed=seed, **kwargs) for mode in modes}
+        ports=ports, seed=resolved, **kwargs) for mode in modes}

@@ -29,6 +29,7 @@ from ..lb.probes import Prober
 from ..lb.server import LBServer, NotificationMode
 from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
+from .registry import deprecated, simple_experiment
 
 __all__ = ["ProbeTimelineResult", "run_fig11"]
 
@@ -96,12 +97,12 @@ class _LivedPool:
                     event_times=(event_time, event_time)))
 
 
-def run_fig11(n_devices: int = 4, n_workers: int = 8,
-              days: int = 12, day_seconds: float = 4.0,
-              rollout_day: int = 4, seed: int = 41,
-              population: int = 1200,
-              conn_lifetime_days: float = 2.0,
-              surges_per_day: int = 2) -> ProbeTimelineResult:
+def _run_fig11(n_devices: int = 4, n_workers: int = 8,
+               days: int = 12, day_seconds: float = 4.0,
+               rollout_day: int = 4, seed: int = 41,
+               population: int = 1200,
+               conn_lifetime_days: float = 2.0,
+               surges_per_day: int = 2) -> ProbeTimelineResult:
     env = Environment()
     registry = RngRegistry(seed)
     horizon = days * day_seconds
@@ -183,8 +184,27 @@ def run_fig11(n_devices: int = 4, n_workers: int = 8,
         reduction=reduction, drain_tail_days=drain_tail)
 
 
+def _rendered(result: ProbeTimelineResult) -> str:
+    return (f"day -> delayed probes: {result.daily_delayed}\n"
+            f"reduction after rollout: {result.reduction * 100:.1f}%  "
+            f"drain tail: {result.drain_tail_days:.1f} days")
+
+
+def _runner(seed: int, params: dict) -> dict:
+    from dataclasses import asdict
+    result = _run_fig11(
+        n_devices=params.get("n_devices", 4),
+        n_workers=params.get("n_workers", 8),
+        days=params.get("days", 12),
+        population=params.get("population", 1200), seed=seed)
+    return dict(asdict(result), rendered=_rendered(result))
+
+
+simple_experiment("fig11", "Delayed probes before/after rollout",
+                  _runner, default_seed=41)
+
+run_fig11 = deprecated(_run_fig11, "registry.get('fig11').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    result = run_fig11()
-    print("day -> delayed probes:", result.daily_delayed)
-    print(f"reduction after rollout: {result.reduction * 100:.1f}%  "
-          f"drain tail: {result.drain_tail_days:.1f} days")
+    print(_rendered(_run_fig11()))

@@ -16,6 +16,7 @@ from typing import List, Tuple
 
 from ..analysis.stats import normalize
 from ..cluster.autoscale import AutoscaleModel, unit_cost_series
+from .registry import deprecated, simple_experiment
 
 __all__ = ["UnitCostResult", "run_fig12"]
 
@@ -29,7 +30,7 @@ class UnitCostResult:
     devices_after: int
 
 
-def run_fig12(months: int = 12, rollout_start: int = 2,
+def _run_fig12(months: int = 12, rollout_start: int = 2,
               rollout_months: int = 6,
               monthly_traffic_growth: float = 0.04,
               base_traffic: float = 1000.0,
@@ -56,9 +57,28 @@ def run_fig12(months: int = 12, rollout_start: int = 2,
     )
 
 
+def _rendered(result: UnitCostResult) -> str:
+    lines = [f"month {month:2d}: unit cost {cost:.3f}"
+             for month, cost in result.series]
+    lines.append(f"peak reduction: {result.peak_reduction * 100:.1f}% "
+                 f"(paper: 18.9%)")
+    return "\n".join(lines)
+
+
+def _runner(seed: int, params: dict) -> dict:
+    from dataclasses import asdict
+    result = _run_fig12(
+        months=params.get("months", 12),
+        rollout_start=params.get("rollout_start", 2),
+        rollout_months=params.get("rollout_months", 6))
+    return dict(asdict(result), rendered=_rendered(result))
+
+
+simple_experiment("fig12", "Normalized unit cost of the fleet (analytic)",
+                  _runner, default_seed=0)
+
+run_fig12 = deprecated(_run_fig12, "registry.get('fig12').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    result = run_fig12()
-    for month, cost in result.series:
-        print(f"month {month:2d}: unit cost {cost:.3f}")
-    print(f"peak reduction: {result.peak_reduction * 100:.1f}% "
-          f"(paper: 18.9%)")
+    print(_rendered(_run_fig12()))

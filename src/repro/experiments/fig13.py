@@ -25,6 +25,7 @@ from ..sim.rng import RngRegistry
 from ..workloads.cases import build_case_workload
 from ..workloads.generator import TrafficGenerator
 from .common import MODES_UNDER_TEST
+from .registry import CellSpec, ExperimentSpec, deprecated, register
 
 __all__ = ["LoadBalanceResult", "run_fig13"]
 
@@ -83,8 +84,8 @@ def _run_mode(mode: NotificationMode, n_workers: int, duration: float,
     return cpu_series, conn_series
 
 
-def run_fig13(n_workers: int = 8, duration: float = 8.0,
-              seed: int = 47) -> LoadBalanceResult:
+def _run_fig13(n_workers: int = 8, duration: float = 8.0,
+               seed: int = 47) -> LoadBalanceResult:
     cpu_sd, conn_sd = {}, {}
     cpu_series, conn_series = {}, {}
     for mode in MODES_UNDER_TEST:
@@ -100,8 +101,47 @@ def run_fig13(n_workers: int = 8, duration: float = 8.0,
                              conn_sd_series=conn_series)
 
 
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "duration": overrides.get("duration", 8.0)}
+    return tuple(
+        CellSpec("fig13", mode.value, dict(params, mode=mode.value), seed)
+        for mode in MODES_UNDER_TEST)
+
+
+def _run_cell(cell):
+    p = cell.params
+    cpu, conns = _run_mode(NotificationMode(p["mode"]), p["n_workers"],
+                           p["duration"], cell.seed)
+    return {"cpu_series": cpu, "conn_series": conns}
+
+
+def _merge(cells, docs):
+    cpu_sd, conn_sd = {}, {}
+    lines = []
+    for cell, doc in zip(cells, docs):
+        cpu = doc["cpu_series"]
+        conns = doc["conn_series"]
+        skip = len(cpu) // 3
+        cpu_sd[cell.key] = mean([v for _, v in cpu[skip:]])
+        conn_sd[cell.key] = mean([v for _, v in conns[skip:]])
+        lines.append(f"{cell.key:12s} cpu SD {cpu_sd[cell.key] * 100:6.2f}%"
+                     f"   conn SD {conn_sd[cell.key]:8.2f}")
+    return {"cpu_sd": cpu_sd, "conn_sd": conn_sd,
+            "cells": {cell.key: doc for cell, doc in zip(cells, docs)},
+            "rendered": "\n".join(lines)}
+
+
+register(ExperimentSpec(
+    name="fig13", title="Per-worker CPU/connection SD across modes",
+    cells=_cells, run_cell=_run_cell, merge=_merge,
+    render=lambda merged: merged["rendered"], default_seed=47))
+
+run_fig13 = deprecated(_run_fig13, "registry.get('fig13').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    result = run_fig13()
+    result = _run_fig13()
     for mode in result.cpu_sd:
         print(f"{mode:12s} cpu SD {result.cpu_sd[mode] * 100:6.2f}%   "
               f"conn SD {result.conn_sd[mode]:8.2f}")

@@ -12,11 +12,12 @@ through the port) and the latency consequence the section narrates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Tuple
 
 from ..kernel.tcp import ConnState
 from ..lb.server import LBServer, NotificationMode
+from .registry import CellSpec, deprecated, lined_experiment
 from ..sim.engine import Environment
 from ..sim.monitor import Samples
 from ..sim.rng import RngRegistry
@@ -42,11 +43,11 @@ class LagEffectResult:
     conns_per_worker: List[int]
 
 
-def run_fig3(mode: NotificationMode = NotificationMode.EXCLUSIVE,
-             n_workers: int = 8, n_connections: int = 400,
-             connect_window: float = 2.0, quiet_until: float = 4.0,
-             surge_at: float = 4.0, surge_requests: int = 3,
-             seed: int = 17) -> LagEffectResult:
+def _run_fig3(mode: NotificationMode = NotificationMode.EXCLUSIVE,
+              n_workers: int = 8, n_connections: int = 400,
+              connect_window: float = 2.0, quiet_until: float = 4.0,
+              surge_at: float = 4.0, surge_requests: int = 3,
+              seed: int = 17) -> LagEffectResult:
     """Establish, idle, surge; measure the amplification."""
     env = Environment()
     registry = RngRegistry(seed)
@@ -155,9 +156,33 @@ def run_fig3(mode: NotificationMode = NotificationMode.EXCLUSIVE,
     )
 
 
+def _line(r: LagEffectResult) -> str:
+    return (f"{r.mode}: conns/worker at surge {r.conns_per_worker} "
+            f"normal P999 {r.normal_p999_ms:.2f} ms -> "
+            f"surge P999 {r.surge_p999_ms:.2f} ms")
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "n_connections": overrides.get("n_connections", 400)}
+    return tuple(
+        CellSpec("fig3", mode.value, dict(params, mode=mode.value), seed)
+        for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES))
+
+
+def _run_cell(cell):
+    p = cell.params
+    r = _run_fig3(NotificationMode(p["mode"]), n_workers=p["n_workers"],
+                  n_connections=p["n_connections"], seed=cell.seed)
+    return dict(asdict(r), rendered=_line(r))
+
+
+lined_experiment("fig3", "Lag effect of connection load imbalance",
+                 _cells, _run_cell, default_seed=17)
+
+run_fig3 = deprecated(_run_fig3, "registry.get('fig3').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES):
-        r = run_fig3(mode)
-        print(f"{r.mode}: conns/worker at surge {r.conns_per_worker} "
-              f"normal P999 {r.normal_p999_ms:.2f} ms -> "
-              f"surge P999 {r.surge_p999_ms:.2f} ms")
+        print(_line(_run_fig3(mode)))

@@ -11,7 +11,7 @@ The heterogeneity is intrinsic: exclusive's LIFO wakeups concentrate work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Tuple
 
 from ..lb.server import LBServer, NotificationMode
@@ -19,6 +19,7 @@ from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
 from ..workloads.cases import build_case_workload
 from ..workloads.generator import TrafficGenerator
+from .registry import deprecated, simple_experiment
 
 __all__ = ["EpollStatsResult", "run_fig45"]
 
@@ -40,9 +41,9 @@ class EpollStatsResult:
     idle_fraction: Dict[int, float]
 
 
-def run_fig45(mode: NotificationMode = NotificationMode.EXCLUSIVE,
-              n_workers: int = 4, duration: float = 10.0,
-              seed: int = 31) -> EpollStatsResult:
+def _run_fig45(mode: NotificationMode = NotificationMode.EXCLUSIVE,
+               n_workers: int = 4, duration: float = 10.0,
+               seed: int = 31) -> EpollStatsResult:
     env = Environment()
     registry = RngRegistry(seed)
     server = LBServer(env, n_workers=n_workers, ports=[443, 444], mode=mode,
@@ -79,9 +80,26 @@ def run_fig45(mode: NotificationMode = NotificationMode.EXCLUSIVE,
     )
 
 
+def _rendered(result: EpollStatsResult) -> str:
+    mean_line = {k: round(v, 3) for k, v in result.mean_events.items()}
+    idle_line = {k: round(v, 3) for k, v in result.idle_fraction.items()}
+    return (f"mean events/wait: {mean_line}\n"
+            f"idle fraction:    {idle_line}")
+
+
+def _runner(seed: int, params: dict) -> dict:
+    result = _run_fig45(
+        NotificationMode(params.get("mode", "exclusive")),
+        n_workers=params.get("n_workers", 4),
+        duration=params.get("duration", 10.0), seed=seed)
+    return dict(asdict(result), rendered=_rendered(result))
+
+
+simple_experiment("fig45", "Per-worker epoll statistics (Figs. 4 & 5)",
+                  _runner, default_seed=31)
+
+run_fig45 = deprecated(_run_fig45, "registry.get('fig45').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    result = run_fig45()
-    print("mean events/wait:", {k: round(v, 3)
-                                for k, v in result.mean_events.items()})
-    print("idle fraction:   ", {k: round(v, 3)
-                                for k, v in result.idle_fraction.items()})
+    print(_rendered(_run_fig45()))

@@ -9,7 +9,7 @@ connections, and report both distributions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List
 
 from ..analysis.stats import coefficient_of_variation
@@ -19,6 +19,7 @@ from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
 from ..workloads.cases import build_case_workload
 from ..workloads.generator import TrafficGenerator
+from .registry import CellSpec, deprecated, lined_experiment
 
 __all__ = ["NicVsCpuResult", "run_fig7"]
 
@@ -36,10 +37,10 @@ class NicVsCpuResult:
     rss_rebalances: int = 0
 
 
-def run_fig7(mode: NotificationMode = NotificationMode.EXCLUSIVE,
-             n_workers: int = 8, duration: float = 4.0,
-             seed: int = 37, load: str = "medium",
-             rss_plus_plus: bool = False) -> NicVsCpuResult:
+def _run_fig7(mode: NotificationMode = NotificationMode.EXCLUSIVE,
+              n_workers: int = 8, duration: float = 4.0,
+              seed: int = 37, load: str = "medium",
+              rss_plus_plus: bool = False) -> NicVsCpuResult:
     """``rss_plus_plus=True`` adds periodic RSS++ indirection rebalancing
     — §3's demonstration that even *active* packet-level balancing cannot
     fix L7 CPU imbalance."""
@@ -85,13 +86,42 @@ def run_fig7(mode: NotificationMode = NotificationMode.EXCLUSIVE,
     )
 
 
+def _rendered(result: NicVsCpuResult, rss_pp: bool) -> str:
+    label = "RSS++" if rss_pp else "RSS  "
+    shares = [round(s, 2) for s in result.nic_queue_share]
+    utils = [round(u, 2) for u in result.cpu_utils]
+    return (f"{label} NIC queue CoV: {result.nic_cov:.3f}  "
+            f"CPU core CoV: {result.cpu_cov:.3f}  "
+            f"(rebalances: {result.rss_rebalances})\n"
+            f"  queue shares: {shares}\n"
+            f"  cpu utils:    {utils}")
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "duration": overrides.get("duration", 4.0),
+              "load": overrides.get("load", "medium")}
+    return tuple(
+        CellSpec("fig7", "rss++" if rss_pp else "rss",
+                 dict(params, rss_plus_plus=rss_pp), seed)
+        for rss_pp in (False, True))
+
+
+def _run_cell(cell):
+    p = cell.params
+    result = _run_fig7(n_workers=p["n_workers"], duration=p["duration"],
+                       seed=cell.seed, load=p["load"],
+                       rss_plus_plus=p["rss_plus_plus"])
+    return dict(asdict(result),
+                rendered=_rendered(result, p["rss_plus_plus"]))
+
+
+lined_experiment("fig7", "RSS packet spread vs CPU imbalance",
+                 _cells, _run_cell, default_seed=37)
+
+run_fig7 = deprecated(_run_fig7, "registry.get('fig7').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     for rss_pp in (False, True):
-        result = run_fig7(rss_plus_plus=rss_pp)
-        label = "RSS++" if rss_pp else "RSS  "
-        print(f"{label} NIC queue CoV: {result.nic_cov:.3f}  "
-              f"CPU core CoV: {result.cpu_cov:.3f}  "
-              f"(rebalances: {result.rss_rebalances})")
-        print("  queue shares:",
-              [round(s, 2) for s in result.nic_queue_share])
-        print("  cpu utils:   ", [round(u, 2) for u in result.cpu_utils])
+        print(_rendered(_run_fig7(rss_plus_plus=rss_pp), rss_pp))

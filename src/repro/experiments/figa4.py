@@ -26,6 +26,7 @@ from ..kernel.hash import FourTuple
 from ..kernel.tcp import Connection, Request
 from ..lb.server import LBServer, NotificationMode
 from ..sim.engine import Environment
+from .registry import CellSpec, deprecated, lined_experiment
 
 __all__ = ["WalkthroughResult", "run_figa4", "T_UNIT"]
 
@@ -47,9 +48,9 @@ class WalkthroughResult:
     makespan_t: float
 
 
-def run_figa4(mode: NotificationMode,
-              n_workers: int = 3, seed: int = 3,
-              hash_seed: int = 12) -> WalkthroughResult:
+def _run_figa4(mode: NotificationMode,
+               n_workers: int = 3, seed: int = 3,
+               hash_seed: int = 12) -> WalkthroughResult:
     env = Environment()
     config = HermesConfig(
         hang_threshold=3.5 * T_UNIT,  # 'unavailable if stuck > 3t'
@@ -105,11 +106,37 @@ def run_figa4(mode: NotificationMode,
     )
 
 
+def _line(r: WalkthroughResult) -> str:
+    lat = {k: round(v, 2) for k, v in sorted(r.latency_t.items())}
+    return (f"{r.mode:10s} workers used {r.workers_used}  "
+            f"max share {r.max_share:.2f}  makespan {r.makespan_t:.1f}t  "
+            f"latencies {lat}")
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 3),
+              "hash_seed": overrides.get("hash_seed", 12)}
+    return tuple(
+        CellSpec("figa4", mode.value, dict(params, mode=mode.value), seed)
+        for mode in (NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
+                     NotificationMode.HERMES))
+
+
+def _run_cell(cell):
+    from dataclasses import asdict
+    p = cell.params
+    r = _run_figa4(NotificationMode(p["mode"]), n_workers=p["n_workers"],
+                   seed=cell.seed, hash_seed=p["hash_seed"])
+    return dict(asdict(r), rendered=_line(r))
+
+
+lined_experiment("figa4", "Walkthrough example (Figs. A3/A4)",
+                 _cells, _run_cell, default_seed=3)
+
+run_figa4 = deprecated(_run_figa4, "registry.get('figa4').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     for mode in (NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
                  NotificationMode.HERMES):
-        r = run_figa4(mode)
-        lat = {k: round(v, 2) for k, v in sorted(r.latency_t.items())}
-        print(f"{r.mode:10s} workers used {r.workers_used}  "
-              f"max share {r.max_share:.2f}  makespan {r.makespan_t:.1f}t  "
-              f"latencies {lat}")
+        print(_line(_run_figa4(mode)))

@@ -14,6 +14,7 @@ from typing import List, Tuple
 from ..analysis.stats import cdf_points, coefficient_of_variation, percentile
 from ..lb.tenant import TenantDirectory
 from ..sim.rng import RngRegistry
+from .registry import deprecated, simple_experiment
 
 __all__ = ["RuleCdfResult", "run_figa5"]
 
@@ -28,8 +29,8 @@ class RuleCdfResult:
     n_ports: int
 
 
-def run_figa5(n_tenants: int = 2000, ports_per_tenant: int = 2,
-              mean_rules: float = 10.0, seed: int = 67) -> RuleCdfResult:
+def _run_figa5(n_tenants: int = 2000, ports_per_tenant: int = 2,
+               mean_rules: float = 10.0, seed: int = 67) -> RuleCdfResult:
     rng = RngRegistry(seed).stream("tenants")
     directory = TenantDirectory.build(
         n_tenants, rng, ports_per_tenant=ports_per_tenant,
@@ -45,7 +46,25 @@ def run_figa5(n_tenants: int = 2000, ports_per_tenant: int = 2,
     )
 
 
+def _rendered(r: RuleCdfResult) -> str:
+    return (f"{r.n_ports} ports: rules P50 {r.p50:.0f}  P90 {r.p90:.0f}  "
+            f"P99 {r.p99:.0f}  CoV {r.cov:.2f}")
+
+
+def _runner(seed: int, params: dict) -> dict:
+    from dataclasses import asdict
+    r = _run_figa5(
+        n_tenants=params.get("n_tenants", 2000),
+        ports_per_tenant=params.get("ports_per_tenant", 2),
+        mean_rules=params.get("mean_rules", 10.0), seed=seed)
+    return dict(asdict(r), rendered=_rendered(r))
+
+
+simple_experiment("figa5", "CDF of forwarding rules per port",
+                  _runner, default_seed=67)
+
+run_figa5 = deprecated(_run_figa5, "registry.get('figa5').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    r = run_figa5()
-    print(f"{r.n_ports} ports: rules P50 {r.p50:.0f}  P90 {r.p90:.0f}  "
-          f"P99 {r.p99:.0f}  CoV {r.cov:.2f}")
+    print(_rendered(_run_figa5()))

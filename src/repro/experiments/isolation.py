@@ -23,6 +23,7 @@ from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
 from ..workloads.distributions import QuantileSampler, RequestFactory
 from ..workloads.generator import TrafficGenerator, WorkloadSpec
+from .registry import CellSpec, deprecated, lined_experiment
 
 __all__ = ["IsolationResult", "run_isolation"]
 
@@ -44,9 +45,9 @@ class IsolationResult:
     whale_completed: int
 
 
-def run_isolation(mode: NotificationMode, n_workers: int = 8,
-                  duration: float = 4.0, seed: int = 71,
-                  client_deadline: float = 0.2) -> IsolationResult:
+def _run_isolation(mode: NotificationMode, n_workers: int = 8,
+                   duration: float = 4.0, seed: int = 71,
+                   client_deadline: float = 0.2) -> IsolationResult:
     env = Environment()
     registry = RngRegistry(seed)
     server = LBServer(env, n_workers=n_workers,
@@ -98,10 +99,39 @@ def run_isolation(mode: NotificationMode, n_workers: int = 8,
     )
 
 
+def _line(r: IsolationResult) -> str:
+    return (f"{r.mode:10s} small tenant: avg {r.small_avg_ms:7.2f} ms  "
+            f"p99 {r.small_p99_ms:8.2f} ms  499s "
+            f"{r.small_timeouts_499:4d}  completed {r.small_completed}")
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "duration": overrides.get("duration", 4.0)}
+    return tuple(
+        CellSpec("isolation", mode.value, dict(params, mode=mode.value),
+                 seed)
+        for mode in (NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
+                     NotificationMode.HERMES))
+
+
+def _run_cell(cell):
+    from dataclasses import asdict
+    p = cell.params
+    r = _run_isolation(NotificationMode(p["mode"]),
+                       n_workers=p["n_workers"], duration=p["duration"],
+                       seed=cell.seed)
+    return dict(asdict(r), rendered=_line(r))
+
+
+lined_experiment("isolation", "Tenant performance isolation",
+                 _cells, _run_cell, default_seed=71)
+
+run_isolation = deprecated(_run_isolation,
+                           "registry.get('isolation').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
     for mode in (NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
                  NotificationMode.HERMES):
-        r = run_isolation(mode)
-        print(f"{r.mode:10s} small tenant: avg {r.small_avg_ms:7.2f} ms  "
-              f"p99 {r.small_p99_ms:8.2f} ms  499s "
-              f"{r.small_timeouts_499:4d}  completed {r.small_completed}")
+        print(_line(_run_isolation(mode)))

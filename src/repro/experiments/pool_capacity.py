@@ -24,6 +24,7 @@ from ..lb.server import LBServer, NotificationMode
 from ..lb.worker import ServiceProfile
 from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
+from .registry import CellSpec, deprecated, lined_experiment
 
 __all__ = ["PoolCapacityResult", "run_pool_capacity"]
 
@@ -46,10 +47,10 @@ class PoolCapacityResult:
     spare_slots: int
 
 
-def run_pool_capacity(mode: NotificationMode, n_workers: int = 8,
-                      pool_size: int = 50, overshoot: float = 1.0,
-                      seed: int = 113, config=None,
-                      label: str = None) -> PoolCapacityResult:
+def _run_pool_capacity(mode: NotificationMode, n_workers: int = 8,
+                       pool_size: int = 50, overshoot: float = 1.0,
+                       seed: int = 113, config=None,
+                       label: str = None) -> PoolCapacityResult:
     """Offer exactly ``overshoot × n × P`` long-lived connections; ideal
     dispatch establishes all of them, imbalanced dispatch strands some on
     full workers while others keep spare pool slots."""
@@ -97,31 +98,72 @@ def run_pool_capacity(mode: NotificationMode, n_workers: int = 8,
     )
 
 
-def run_all_pool_arms(n_workers: int = 8, pool_size: int = 50,
-                      seed: int = 113) -> List[PoolCapacityResult]:
+def _run_all_pool_arms(n_workers: int = 8, pool_size: int = 50,
+                       seed: int = 113) -> List[PoolCapacityResult]:
     """The four arms: 3 modes + Hermes with the capacity filter stage."""
     from ..core.config import HermesConfig
 
     results = [
-        run_pool_capacity(mode, n_workers=n_workers, pool_size=pool_size,
-                          seed=seed)
+        _run_pool_capacity(mode, n_workers=n_workers, pool_size=pool_size,
+                           seed=seed)
         for mode in (NotificationMode.EXCLUSIVE,
                      NotificationMode.REUSEPORT,
                      NotificationMode.HERMES)
     ]
     capacity_config = HermesConfig(
         filter_order=("time", "capacity", "conn", "event"))
-    results.append(run_pool_capacity(
+    results.append(_run_pool_capacity(
         NotificationMode.HERMES, n_workers=n_workers,
         pool_size=pool_size, seed=seed, config=capacity_config,
         label="hermes+capacity"))
     return results
 
 
+def _arm_line(r: PoolCapacityResult) -> str:
+    return (f"{r.mode:16s} established {r.established}/"
+            f"{r.n_workers * r.pool_size} "
+            f"({r.capacity_utilization * 100:.0f}% of capacity)  "
+            f"stranded {r.stranded}  spare slots {r.spare_slots}  "
+            f"pool-refused {r.refused_pool_exhausted}")
+
+
+def _cells(seed, overrides):
+    params = {"n_workers": overrides.get("n_workers", 8),
+              "pool_size": overrides.get("pool_size", 50)}
+    arms = ("exclusive", "reuseport", "hermes", "hermes+capacity")
+    return tuple(CellSpec("pool_capacity", arm, dict(params, arm=arm), seed)
+                 for arm in arms)
+
+
+def _run_cell(cell):
+    from dataclasses import asdict
+    p = cell.params
+    arm = p["arm"]
+    if arm == "hermes+capacity":
+        from ..core.config import HermesConfig
+        r = _run_pool_capacity(
+            NotificationMode.HERMES, n_workers=p["n_workers"],
+            pool_size=p["pool_size"], seed=cell.seed,
+            config=HermesConfig(
+                filter_order=("time", "capacity", "conn", "event")),
+            label="hermes+capacity")
+    else:
+        r = _run_pool_capacity(NotificationMode(arm),
+                               n_workers=p["n_workers"],
+                               pool_size=p["pool_size"], seed=cell.seed)
+    return dict(asdict(r), rendered=_arm_line(r))
+
+
+lined_experiment("pool_capacity",
+                 "Connection-pool exhaustion under uneven distribution",
+                 _cells, _run_cell, default_seed=113)
+
+run_pool_capacity = deprecated(_run_pool_capacity,
+                               "registry.get('pool_capacity').run()")
+run_all_pool_arms = deprecated(_run_all_pool_arms,
+                               "registry.get('pool_capacity').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    for r in run_all_pool_arms():
-        print(f"{r.mode:16s} established {r.established}/"
-              f"{r.n_workers * r.pool_size} "
-              f"({r.capacity_utilization * 100:.0f}% of capacity)  "
-              f"stranded {r.stranded}  spare slots {r.spare_slots}  "
-              f"pool-refused {r.refused_pool_exhausted}")
+    for r in _run_all_pool_arms():
+        print(_arm_line(r))

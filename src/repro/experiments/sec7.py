@@ -28,6 +28,7 @@ from ..lb.server import LBServer, NotificationMode
 from ..sim.engine import Environment
 from ..sim.rng import RngRegistry
 from ..workloads.generator import TrafficGenerator
+from .registry import CellSpec, ExperimentSpec, deprecated, register
 
 __all__ = ["BackendRrResult", "run_backend_rr",
            "ReuseResult", "run_connection_reuse",
@@ -48,9 +49,9 @@ class BackendRrResult:
     requests_per_worker: int
 
 
-def run_backend_rr(n_workers: int = 32, n_servers: int = 20,
-                   requests_per_worker: int = 6,
-                   seed: int = 71) -> BackendRrResult:
+def _run_backend_rr(n_workers: int = 32, n_servers: int = 20,
+                    requests_per_worker: int = 6,
+                    seed: int = 71) -> BackendRrResult:
     """Few requests per worker after an update ⇒ head servers overloaded.
 
     ``requests_per_worker`` is deliberately small (Hermes spreads load, so
@@ -88,10 +89,10 @@ class ReuseResult:
     added_latency_shared: float
 
 
-def run_connection_reuse(n_workers: int = 32, n_servers: int = 8,
-                         n_requests: int = 2000,
-                         handshake_cost: float = 0.002,
-                         seed: int = 73) -> ReuseResult:
+def _run_connection_reuse(n_workers: int = 32, n_servers: int = 8,
+                          n_requests: int = 2000,
+                          handshake_cost: float = 0.002,
+                          seed: int = 73) -> ReuseResult:
     rng = RngRegistry(seed).stream("spread")
 
     def run(shared: bool):
@@ -130,10 +131,10 @@ class CrashBlastResult:
     flight_events: Optional[List[dict]] = None
 
 
-def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
-                    n_connections: int = 400, seed: int = 79,
-                    flight_recorder: Optional["FlightRecorder"] = None,
-                    ) -> CrashBlastResult:
+def _run_crash_blast(mode: NotificationMode, n_workers: int = 8,
+                     n_connections: int = 400, seed: int = 79,
+                     flight_recorder: Optional["FlightRecorder"] = None,
+                     ) -> CrashBlastResult:
     """Establish long-lived connections, crash the busiest worker, count
     how many connections die with it.
 
@@ -188,14 +189,76 @@ def run_crash_blast(mode: NotificationMode, n_workers: int = 8,
         flight_events=flight)
 
 
+# ---------------------------------------------------------------------------
+# Registry wiring: three experiences as independent cells.
+# ---------------------------------------------------------------------------
+
+def _rr_line(rr: BackendRrResult) -> str:
+    return (f"backend rr imbalance: synchronized "
+            f"{rr.imbalance_synchronized:.2f}x "
+            f"randomized {rr.imbalance_randomized:.2f}x")
+
+
+def _reuse_line(reuse: ReuseResult) -> str:
+    return (f"handshakes: per-worker pools "
+            f"{reuse.handshakes_per_worker_pools} "
+            f"shared pool {reuse.handshakes_shared_pool}")
+
+
+def _blast_line(blast: CrashBlastResult) -> str:
+    return (f"crash blast {blast.mode}: {blast.connections_killed}/"
+            f"{blast.total_connections} = {blast.blast_fraction * 100:.1f}%")
+
+
+def _cells(seed, overrides):
+    crash_params = {"n_workers": overrides.get("n_workers", 8),
+                    "n_connections": overrides.get("n_connections", 400)}
+    return (
+        CellSpec("sec7", "backend_rr", {}, seed),
+        CellSpec("sec7", "connection_reuse", {}, seed + 2),
+        CellSpec("sec7", "crash_blast/exclusive",
+                 dict(crash_params, mode="exclusive"), seed + 8),
+        CellSpec("sec7", "crash_blast/hermes",
+                 dict(crash_params, mode="hermes"), seed + 8),
+    )
+
+
+def _run_cell(cell):
+    from dataclasses import asdict
+    p = cell.params
+    if cell.key == "backend_rr":
+        rr = _run_backend_rr(seed=cell.seed)
+        return dict(asdict(rr), rendered=_rr_line(rr))
+    if cell.key == "connection_reuse":
+        reuse = _run_connection_reuse(seed=cell.seed)
+        return dict(asdict(reuse), rendered=_reuse_line(reuse))
+    blast = _run_crash_blast(NotificationMode(p["mode"]),
+                             n_workers=p["n_workers"],
+                             n_connections=p["n_connections"],
+                             seed=cell.seed)
+    return dict(asdict(blast), rendered=_blast_line(blast))
+
+
+def _merge(cells, docs):
+    return {"cells": {cell.key: doc for cell, doc in zip(cells, docs)},
+            "rendered": "\n".join(doc["rendered"] for doc in docs)}
+
+
+register(ExperimentSpec(
+    name="sec7", title="§7 deployment experiences and crash blast radius",
+    cells=_cells, run_cell=_run_cell, merge=_merge,
+    render=lambda merged: merged["rendered"], default_seed=71))
+
+run_backend_rr = deprecated(_run_backend_rr,
+                            "registry.get('sec7').run()")
+run_connection_reuse = deprecated(_run_connection_reuse,
+                                  "registry.get('sec7').run()")
+run_crash_blast = deprecated(_run_crash_blast,
+                             "registry.get('sec7').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    rr = run_backend_rr()
-    print(f"backend rr imbalance: synchronized {rr.imbalance_synchronized:.2f}x "
-          f"randomized {rr.imbalance_randomized:.2f}x")
-    reuse = run_connection_reuse()
-    print(f"handshakes: per-worker pools {reuse.handshakes_per_worker_pools} "
-          f"shared pool {reuse.handshakes_shared_pool}")
+    print(_rr_line(_run_backend_rr()))
+    print(_reuse_line(_run_connection_reuse()))
     for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES):
-        blast = run_crash_blast(mode)
-        print(f"crash blast {blast.mode}: {blast.connections_killed}/"
-              f"{blast.total_connections} = {blast.blast_fraction * 100:.1f}%")
+        print(_blast_line(_run_crash_blast(mode)))

@@ -7,13 +7,14 @@ report the measured quantiles next to the paper's numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Tuple
 
 from ..analysis.reporting import render_table
 from ..analysis.stats import percentile
 from ..sim.rng import RngRegistry
 from ..workloads.regions import REGIONS
+from .registry import deprecated, simple_experiment
 
 __all__ = ["Table1Row", "run_table1", "render_table1"]
 
@@ -37,7 +38,7 @@ class Table1Row:
         return max(errors)
 
 
-def run_table1(n_samples: int = 40000, seed: int = 5) -> List[Table1Row]:
+def _run_table1(n_samples: int = 40000, seed: int = 5) -> List[Table1Row]:
     registry = RngRegistry(seed)
     rows = []
     for name, profile in REGIONS.items():
@@ -77,5 +78,18 @@ def render_table1(rows: List[Table1Row]) -> str:
                               "time quantiles (measured vs paper)")
 
 
+def _runner(seed: int, params: dict) -> dict:
+    rows = _run_table1(n_samples=params.get("n_samples", 40000), seed=seed)
+    return {"rows": [asdict(row) for row in rows],
+            "rendered": render_table1(rows)}
+
+
+simple_experiment(
+    "table1", "Region size/time quantiles (measured vs paper)",
+    _runner, default_seed=5)
+
+run_table1 = deprecated(_run_table1, "registry.get('table1').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    print(render_table1(run_table1()))
+    print(render_table1(_run_table1()))

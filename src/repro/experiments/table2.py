@@ -9,16 +9,20 @@ mixes and report the same statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.reporting import render_table
 from ..analysis.stats import mean
 from ..lb.server import NotificationMode
 from ..workloads.cases import build_case_workload
 from .common import CellResult, run_spec
+from .registry import CellSpec, deprecated, register, ExperimentSpec
 
 __all__ = ["DeviceImbalance", "run_table2", "render_table2"]
+
+#: Per-device tenant mix: devices cycle through these cases.
+_CASE_CYCLE = ("case3", "case1", "case3", "case4")
 
 
 @dataclass(frozen=True)
@@ -40,10 +44,32 @@ def _imbalance(name: str, cpu_utils: Sequence[float]) -> DeviceImbalance:
     )
 
 
-def run_table2(n_devices: int = 8, n_workers: int = 8,
-               duration: float = 3.0, seed: int = 23,
-               mode: NotificationMode = NotificationMode.EXCLUSIVE,
-               ) -> List[DeviceImbalance]:
+def _run_device(device_index: int, case: str, intensity: float,
+                n_workers: int, duration: float, seed: int,
+                mode: NotificationMode) -> DeviceImbalance:
+    """One device of the mini-region (one sweep cell)."""
+    spec = build_case_workload(
+        case, "light", n_workers=n_workers, duration=duration,
+        ports=tuple(range(20001, 20001 + 16)))
+    spec.conn_rate *= intensity
+    spec.name = f"table2-dev{device_index}"
+    cell: CellResult = run_spec(mode, spec, n_workers=n_workers,
+                                seed=seed, settle=0.5)
+    return _imbalance(f"device{device_index}", cell.cpu_utils)
+
+
+def _device_plan(n_devices: int) -> List[Tuple[str, float]]:
+    """(case, intensity) per device: heterogeneous tenant mixes at
+    40%..100% of the case's rate."""
+    return [(_CASE_CYCLE[i % len(_CASE_CYCLE)],
+             0.4 + 0.6 * (i / max(1, n_devices - 1)))
+            for i in range(n_devices)]
+
+
+def _run_table2(n_devices: int = 8, n_workers: int = 8,
+                duration: float = 3.0, seed: int = 23,
+                mode: NotificationMode = NotificationMode.EXCLUSIVE,
+                ) -> List[DeviceImbalance]:
     """Simulate a mini-region of exclusive-mode devices.
 
     Device heterogeneity comes from different tenant mixes: each device
@@ -51,22 +77,10 @@ def run_table2(n_devices: int = 8, n_workers: int = 8,
     (its tenant population), like real devices hosting different ALB
     instances.
     """
-    results: List[DeviceImbalance] = []
-    case_cycle = ("case3", "case1", "case3", "case4")
-    for device_index in range(n_devices):
-        case = case_cycle[device_index % len(case_cycle)]
-        # Intensity varies across devices (40%..100% of the case's rate).
-        intensity = 0.4 + 0.6 * (device_index / max(1, n_devices - 1))
-        spec = build_case_workload(
-            case, "light", n_workers=n_workers, duration=duration,
-            ports=tuple(range(20001, 20001 + 16)))
-        spec.conn_rate *= intensity
-        spec.name = f"table2-dev{device_index}"
-        cell: CellResult = run_spec(
-            mode, spec, n_workers=n_workers,
-            seed=seed + device_index, settle=0.5)
-        results.append(_imbalance(f"device{device_index}", cell.cpu_utils))
-    return results
+    return [
+        _run_device(i, case, intensity, n_workers, duration,
+                    seed + i, mode)
+        for i, (case, intensity) in enumerate(_device_plan(n_devices))]
 
 
 def region_summary(devices: List[DeviceImbalance]) -> DeviceImbalance:
@@ -94,5 +108,38 @@ def render_table2(devices: List[DeviceImbalance]) -> str:
               "(top-2 devices + region average)")
 
 
+def _cells(seed: int, overrides: dict) -> Tuple[CellSpec, ...]:
+    n_devices = overrides.get("n_devices", 8)
+    base = {"n_workers": overrides.get("n_workers", 8),
+            "duration": overrides.get("duration", 3.0),
+            "mode": overrides.get("mode", NotificationMode.EXCLUSIVE.value)}
+    return tuple(
+        CellSpec("table2", f"device{i}",
+                 dict(base, device_index=i, case=case, intensity=intensity),
+                 seed + i)
+        for i, (case, intensity) in enumerate(_device_plan(n_devices)))
+
+
+def _run_cell(cell: CellSpec) -> dict:
+    p = cell.params
+    device = _run_device(p["device_index"], p["case"], p["intensity"],
+                         p["n_workers"], p["duration"], cell.seed,
+                         NotificationMode(p["mode"]))
+    return asdict(device)
+
+
+def _merge(cells: Sequence[CellSpec], docs: Sequence[dict]) -> dict:
+    devices = [DeviceImbalance(**doc) for doc in docs]
+    return {"devices": list(docs), "rendered": render_table2(devices)}
+
+
+register(ExperimentSpec(
+    name="table2", title="CPU imbalance within a device and region",
+    cells=_cells, run_cell=_run_cell, merge=_merge,
+    render=lambda merged: merged["rendered"], default_seed=23))
+
+run_table2 = deprecated(_run_table2, "registry.get('table2').run()")
+
+
 if __name__ == "__main__":  # pragma: no cover - manual harness
-    print(render_table2(run_table2()))
+    print(render_table2(_run_table2()))

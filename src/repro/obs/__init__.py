@@ -39,6 +39,7 @@ from .trace import (
     CAT_KERNEL,
     CAT_NET,
     CAT_SCHED,
+    CAT_SWEEP,
     CAT_WORKER,
     TraceEvent,
     Tracer,
@@ -49,6 +50,7 @@ __all__ = [
     "CAT_KERNEL",
     "CAT_NET",
     "CAT_SCHED",
+    "CAT_SWEEP",
     "CAT_WORKER",
     "FlightRecorder",
     "RequestTimeline",

@@ -35,6 +35,7 @@ __all__ = [
     "CAT_WORKER",
     "CAT_SCHED",
     "CAT_FAULT",
+    "CAT_SWEEP",
 ]
 
 #: Kernel-side mechanisms: wait queues, epoll callbacks, reuseport selection.
@@ -47,6 +48,8 @@ CAT_WORKER = "worker"
 CAT_SCHED = "sched"
 #: Fault injection: ``fault.arm`` / ``fault.fire`` / ``fault.clear``.
 CAT_FAULT = "fault"
+#: Sweep orchestration: ``sweep.start`` / ``sweep.cell.done`` / ``sweep.done``.
+CAT_SWEEP = "sweep"
 
 
 class TraceEvent:

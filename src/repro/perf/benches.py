@@ -15,6 +15,10 @@ Each bench exercises one hot path named in the Table 5 / §5 cost model:
 - ``macro_lb_run`` — one end-to-end :class:`~repro.lb.server.LBServer`
   run in Hermes mode on a Table-3 workload cell (the number every sweep
   in this repo actually pays).
+- ``sweep_table3`` — the orchestrator itself: a reduced Table-3 grid
+  through :func:`repro.sweep.run_sweep` serially and with a worker pool,
+  asserting the merged documents are byte-identical (the sweep
+  determinism contract) and scoring cells/sec.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ __all__ = [
     "bench_scheduler_cascade",
     "bench_epoll_wakeup_fanout",
     "bench_macro_lb_run",
+    "bench_sweep_table3",
 ]
 
 
@@ -257,5 +262,54 @@ def bench_macro_lb_run(quick: bool = False, repeats: int = 3) -> BenchResult:
                               "duration": duration})
     if "engine_events" not in extra:
         result.unit = "requests"
+    result.meta.update(extra)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# sweep_table3
+# ---------------------------------------------------------------------------
+
+def bench_sweep_table3(quick: bool = False, repeats: int = 3) -> BenchResult:
+    from ..sweep import run_sweep
+
+    jobs = 4
+    overrides: Dict[str, Any] = {
+        "cases": ["case2"] if quick else ["case1", "case2"],
+        "loads": ["light"] if quick else ["light", "medium"],
+        "duration_scale": 0.12,
+        "n_workers": 2,
+        "ports": list(range(20001, 20011)),
+        "settle": 0.5,
+    }
+    extra: Dict[str, Any] = {}
+
+    def setup():
+        return None
+
+    def run(_state) -> int:
+        serial = run_sweep("table3", seed=11, jobs=1, cache=False,
+                           overrides=overrides)
+        fanned = run_sweep("table3", seed=11, jobs=jobs, cache=False,
+                           overrides=overrides)
+        # The sweep contract: fan-out must not change a single byte.
+        extra["byte_identical"] = serial.to_json() == fanned.to_json()
+        assert extra["byte_identical"]
+        extra["serial_wall_s"] = round(serial.wall_seconds, 4)
+        extra["parallel_wall_s"] = round(fanned.wall_seconds, 4)
+        if fanned.wall_seconds > 0:
+            extra["speedup"] = round(
+                serial.wall_seconds / fanned.wall_seconds, 3)
+        return len(serial.runs) + len(fanned.runs)
+
+    # Each repeat runs the grid twice end to end; cap like macro_lb_run.
+    result = time_bench("sweep_table3", setup, run, unit="cells",
+                        repeats=min(repeats, 2),
+                        meta={"jobs": jobs,
+                              "cases": list(overrides["cases"]),
+                              "loads": list(overrides["loads"]),
+                              "n_workers": overrides["n_workers"],
+                              "duration_scale":
+                                  overrides["duration_scale"]})
     result.meta.update(extra)
     return result

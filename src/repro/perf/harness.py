@@ -94,6 +94,7 @@ BENCH_NAMES: Tuple[str, ...] = (
     "scheduler_cascade",
     "epoll_wakeup_fanout",
     "macro_lb_run",
+    "sweep_table3",
 )
 
 

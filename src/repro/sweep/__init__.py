@@ -1,0 +1,30 @@
+"""repro.sweep — parallel, cached experiment orchestration.
+
+Decomposes any registered experiment into independent seeded cells,
+fans them out across processes (``--jobs N``), memoizes completed cells
+in a content-addressed on-disk cache, and merges results in enumeration
+order so parallel output is byte-identical to serial.
+
+Entry points:
+
+- :func:`run_sweep` — orchestrate one experiment.
+- :class:`CellCache` — the on-disk memoizer.
+- :func:`code_fingerprint` — the source-tree digest in every cache key.
+"""
+
+from .cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, CellCache, cell_cache_key
+from .fingerprint import code_fingerprint, reset_fingerprint_cache
+from .orchestrator import SWEEP_SCHEMA, CellRun, SweepResult, run_sweep
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "CellCache",
+    "cell_cache_key",
+    "code_fingerprint",
+    "reset_fingerprint_cache",
+    "SWEEP_SCHEMA",
+    "CellRun",
+    "SweepResult",
+    "run_sweep",
+]

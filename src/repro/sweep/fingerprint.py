@@ -1,0 +1,48 @@
+"""Code fingerprint: the third leg of a cell's cache identity.
+
+A memoized cell is only reusable while the code that produced it is
+unchanged, so every cache key mixes in a digest of the whole ``repro``
+source tree.  Any edit — even to a module the cell never imports —
+invalidates the cache.  That is deliberately conservative: hashing the
+true import closure of each cell would save little (a sweep re-runs in
+parallel anyway) and risks silently serving stale results after a
+refactor moves behaviour between modules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_fingerprint", "reset_fingerprint_cache"]
+
+_CACHED: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` file of the installed ``repro`` tree.
+
+    Files are visited in sorted relative-path order with path and content
+    delimited, so the digest is stable across platforms and independent of
+    filesystem enumeration order.  Computed once per process.
+    """
+    global _CACHED
+    if _CACHED is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CACHED = digest.hexdigest()
+    return _CACHED
+
+
+def reset_fingerprint_cache() -> None:
+    """Forget the memoized digest (tests that mutate the tree)."""
+    global _CACHED
+    _CACHED = None

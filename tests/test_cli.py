@@ -74,6 +74,29 @@ class TestParser:
              "--scenario", "nic_loss"])
         assert args.scenarios == ["worker_hang", "nic_loss"]
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "table3"])
+        assert args.seed is None
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache and not args.force
+        assert args.overrides is None
+        assert not args.require_cached
+
+    def test_sweep_repeatable_set(self):
+        args = build_parser().parse_args(
+            ["sweep", "table3", "--set", "n_workers=2",
+             "--set", 'cases=["case1"]'])
+        assert args.overrides == ["n_workers=2", 'cases=["case1"]']
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nope"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "table3", "--jobs", "0"])
+
 
 class TestExperimentWiring:
     """Every experiment is importable and wired; none is forgotten."""
@@ -86,7 +109,7 @@ class TestExperimentWiring:
     def test_on_disk_modules_match_registry(self):
         package_dir = pathlib.Path(repro.experiments.__file__).parent
         on_disk = {path.stem for path in package_dir.glob("*.py")
-                   if path.stem not in ("__init__", "common")}
+                   if path.stem not in ("__init__", "common", "registry")}
         assert on_disk == set(EXPERIMENTS)
 
     def test_no_duplicate_names(self):
@@ -194,6 +217,61 @@ class TestCommands:
         rc = main(["resilience", "--scenario", "meteor"])
         assert rc == 1
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_list_plain(self, capsys):
+        rc = main(["list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "cells=" in out
+
+    def test_list_json_emits_registry_metadata(self, capsys):
+        rc = main(["list", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        entries = json.loads(out)
+        assert [e["name"] for e in entries] == list(EXPERIMENTS)
+        for entry in entries:
+            assert entry["title"]
+            assert entry["n_cells"] == len(entry["cell_keys"])
+
+    def test_sweep_writes_canonical_document(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        rc = main(["sweep", "table3", "--seed", "11", "--no-cache",
+                   "--set", 'cases=["case2"]', "--set", 'loads=["light"]',
+                   "--set", "duration_scale=0.1", "--set", "n_workers=2",
+                   "--set", "ports=[20001,20002]", "--set", "settle=0.5",
+                   "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sweep: 3 cells (3 executed, 0 cached)" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro.sweep/v1"
+        assert document["experiment"] == "table3"
+        assert [c["key"] for c in document["cells"]] == [
+            "case2/light/exclusive", "case2/light/reuseport",
+            "case2/light/hermes"]
+
+    def test_sweep_require_cached_gates_on_misses(self, capsys, tmp_path):
+        base = ["sweep", "table3", "--seed", "11",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--set", 'cases=["case2"]', "--set", 'loads=["light"]',
+                "--set", 'modes=["hermes"]',
+                "--set", "duration_scale=0.1", "--set", "n_workers=2",
+                "--set", "ports=[20001,20002]", "--set", "settle=0.5"]
+        rc = main(base + ["--require-cached"])
+        assert rc == 1
+        assert "cache miss" in capsys.readouterr().err
+        rc = main(base + ["--require-cached"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(0 executed, 1 cached)" in out
+
+    def test_sweep_malformed_set_errors(self, capsys):
+        rc = main(["sweep", "table3", "--set", "oops"])
+        assert rc == 1
+        assert "not key=value" in capsys.readouterr().err
 
     def test_trace_subcommand_flight_jsonl(self, capsys, tmp_path):
         path = tmp_path / "flight.jsonl"

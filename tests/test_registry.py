@@ -1,0 +1,89 @@
+"""Tests for the unified experiment registry and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import (EXPERIMENT_MODULES, CellSpec,
+                                        deprecated, normalize_doc)
+
+
+class TestRegistryCoverage:
+    """Every paper experiment is registered, enumerable, and described."""
+
+    def test_names_match_module_list(self):
+        assert registry.names() == EXPERIMENT_MODULES
+
+    def test_load_all_registers_every_module(self):
+        specs = registry.load_all()
+        assert set(EXPERIMENT_MODULES) <= set(specs)
+
+    @pytest.mark.parametrize("name", EXPERIMENT_MODULES)
+    def test_every_experiment_describes(self, name):
+        info = registry.describe(name)
+        assert info["name"] == name
+        assert info["title"]
+        assert info["n_cells"] >= 1
+        assert len(info["cell_keys"]) == info["n_cells"]
+        assert len(set(info["cell_keys"])) == info["n_cells"], \
+            f"{name} has duplicate cell keys"
+
+    @pytest.mark.parametrize("name", EXPERIMENT_MODULES)
+    def test_cells_carry_the_requested_seed(self, name):
+        spec = registry.get(name)
+        for cell in spec.cells(1234, {}):
+            assert cell.experiment == name
+            assert cell.seed >= 1234  # base seed, possibly plus an offset
+            normalize_doc(cell.params)  # params must be JSON-safe
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.get("nonexistent_experiment")
+
+
+class TestCellSpec:
+    def test_identity_is_canonical(self):
+        cell = CellSpec("e", "k", {"b": (1, 2), "a": 1}, 9)
+        identity = cell.identity()
+        assert identity == {"experiment": "e", "key": "k",
+                            "params": {"a": 1, "b": [1, 2]}, "seed": 9}
+
+    def test_normalize_doc_collapses_tuples_and_keys(self):
+        assert normalize_doc({"t": (1, 2)}) == {"t": [1, 2]}
+        assert normalize_doc({3: "x", 1: "y"}) == {"3": "x", "1": "y"}
+
+
+class TestDeprecationShim:
+    def test_wrapper_warns_and_delegates(self):
+        def impl(a, b=2):
+            return a + b
+
+        shim = deprecated(impl, "registry.get('x').run()")
+        with pytest.warns(DeprecationWarning, match="impl.*deprecated"):
+            assert shim(1, b=3) == 4
+        assert shim.__wrapped__ is impl
+        assert shim.__name__ == "impl"
+
+    def test_legacy_entry_points_are_shimmed(self):
+        """Spot-check that real run_* names went through deprecated()."""
+        from repro.experiments import isolation, scaling, table3
+        for fn in (table3.run_table3, scaling.run_scaling,
+                   isolation.run_isolation):
+            assert hasattr(fn, "__wrapped__")
+
+    def test_legacy_call_warns_registry_path_does_not(self):
+        from repro.experiments.scaling import _run_scaling, run_scaling
+
+        with pytest.warns(DeprecationWarning):
+            legacy = run_scaling(worker_counts=(2,), duration=0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            direct = _run_scaling(worker_counts=(2,), duration=0.4)
+            merged = registry.get("scaling").run(
+                overrides={"worker_counts": [2], "duration": 0.4})
+        assert direct == legacy
+        # Registry cells render exactly the legacy per-point lines.
+        from repro.experiments.scaling import _point_line
+        assert merged["rendered"].splitlines() \
+            == [_point_line(p) for p in direct]
