@@ -1,6 +1,6 @@
 # Convenience targets for the Hermes reproduction.
 
-.PHONY: install test bench perf perf-check sweep-check examples \
+.PHONY: install test bench perf perf-check sweep-check check examples \
     experiments clean
 
 install:
@@ -39,6 +39,12 @@ sweep-check:
 	    --out sweep.parallel.json
 	cmp sweep.serial.json sweep.parallel.json
 	@echo "parallel sweep is byte-identical to serial"
+
+# The full correctness gate: nondeterminism lint, offline differential
+# oracles, and the live scenarios (Table-3 cell + §7 crash, both modes)
+# with invariant monitors armed.  What the CI check job runs.
+check:
+	PYTHONPATH=src python -m repro check
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done

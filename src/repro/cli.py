@@ -13,6 +13,9 @@
     python -m repro chaos --plan plan.json --mode hermes
     python -m repro resilience --seed 7 --out matrix.json
     python -m repro perf --quick --check BENCH_perf.json
+    python -m repro check
+    python -m repro check --lint
+    python -m repro run --mode hermes --check
 
 ``run`` drives one device in one mode (``--trace`` additionally records a
 Chrome/Perfetto trace); ``trace`` runs a scenario with full tracing and
@@ -28,7 +31,12 @@ timeline next to the usual metrics; ``resilience`` runs the fault ×
 notification-mode matrix (``--out`` writes canonical JSON, byte-identical
 for identical seeds — the determinism check CI relies on); ``perf`` runs
 the calibrated benchmark suite (:mod:`repro.perf`) and writes the canonical
-``BENCH_perf.json`` report, optionally gating on a committed baseline.
+``BENCH_perf.json`` report, optionally gating on a committed baseline;
+``check`` is the correctness gate (:mod:`repro.check`): nondeterminism
+lint, differential-oracle sweep, and monitored end-to-end scenarios.
+``run``, ``chaos`` and ``sweep`` additionally accept ``--check`` to arm
+invariant monitors and live oracles on that specific run — results stay
+byte-identical, or the command fails.
 
 ``run``, ``experiment``, ``chaos``, ``resilience`` and ``sweep`` share the
 same ``--seed`` / ``--out`` / ``--jobs`` contract: explicit seed, optional
@@ -124,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record a Chrome/Perfetto trace to PATH")
     run.add_argument("--out", metavar="PATH", default=None,
                      help="also write the run summary as canonical JSON")
+    run.add_argument("--check", action="store_true",
+                     help="arm invariant monitors and live differential "
+                          "oracles (byte-identical results, or an error)")
     _add_jobs(run)
 
     trace = sub.add_parser(
@@ -190,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--require-cached", action="store_true",
                        help="fail if any cell had to execute (CI check "
                             "that a warm cache fully covers the grid)")
+    sweep.add_argument("--check", action="store_true",
+                       help="arm live differential oracles around every "
+                            "executed cell (cache hits skip the check)")
 
     list_cmd = sub.add_parser(
         "list", help="list registered experiments (registry metadata)")
@@ -213,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a Chrome/Perfetto trace to PATH")
     chaos.add_argument("--out", metavar="PATH", default=None,
                        help="also write the run summary as canonical JSON")
+    chaos.add_argument("--check", action="store_true",
+                       help="arm invariant monitors and live differential "
+                            "oracles (byte-identical results, or an error)")
     _add_jobs(chaos)
 
     resilience = sub.add_parser(
@@ -241,7 +258,51 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--check", metavar="COMMITTED.json", default=None,
                       help="fail (exit 1) if a gated bench's normalized "
                            "score regressed >20%% vs this committed report")
+
+    check = sub.add_parser(
+        "check", help="correctness gate: nondeterminism lint, differential "
+                      "oracles, and monitored end-to-end scenarios")
+    check.add_argument("--lint", action="store_true",
+                       help="run only the nondeterminism linter")
+    check.add_argument("--oracles", action="store_true",
+                       help="run only the offline oracle sweep")
+    check.add_argument("--scenarios", action="store_true",
+                       help="run only the monitored end-to-end scenarios")
+    check.add_argument("--path", action="append", default=None,
+                       metavar="DIR", dest="paths",
+                       help="lint these paths (repeatable; default: src)")
+    check.add_argument("--allowlist", metavar="FILE", default=None,
+                       help="lint allowlist file (default: the packaged "
+                            "src/repro/check/allowlist.txt)")
+    check.add_argument("--seed", type=int, default=7,
+                       help="seed for the monitored Table 3 scenario")
     return parser
+
+
+def _check_context(enabled: bool):
+    """``(context_manager, monitors)`` for a ``--check``-capable command.
+
+    When enabled, the context patches live differential oracles in and
+    the returned ``env_hook`` arms an invariant monitor on the server.
+    """
+    from contextlib import nullcontext
+
+    monitors: List[Any] = []
+    if not enabled:
+        return nullcontext(), monitors, None
+    from .check import live_oracles, watch
+
+    def hook(env, server, gen):
+        monitors.append(watch(server))
+
+    return live_oracles(), monitors, hook
+
+
+def _finish_check(monitors, stats) -> None:
+    passes = monitors[0].finalize() if monitors else {}
+    print(f"check: {sum(passes.values())} invariant evaluation(s), "
+          f"{stats.total if stats is not None else 0} live oracle "
+          f"comparison(s), 0 violations")
 
 
 def _cmd_run(args) -> int:
@@ -253,10 +314,22 @@ def _cmd_run(args) -> int:
     if getattr(args, "trace", None):
         from .obs import Tracer
         tracer = Tracer()
-    result = run_case_cell(mode, args.case, args.load,
-                           n_workers=args.workers,
-                           duration=args.duration, ports=ports,
-                           seed=args.seed, tracer=tracer)
+    context, monitors, hook = _check_context(args.check)
+    try:
+        with context as stats:
+            result = run_case_cell(mode, args.case, args.load,
+                                   n_workers=args.workers,
+                                   duration=args.duration, ports=ports,
+                                   seed=args.seed, tracer=tracer,
+                                   env_hook=hook)
+    except AssertionError as exc:
+        if not args.check:
+            raise
+        # InvariantViolation / OracleMismatch from the armed checks.
+        print(f"check FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        _finish_check(monitors, stats)
     print(render_table(
         ["metric", "value"],
         [["mode", result.mode],
@@ -379,8 +452,15 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     cache = False if args.no_cache else (args.cache_dir or True)
-    result = run_sweep(args.name, seed=args.seed, jobs=args.jobs,
-                       cache=cache, overrides=overrides, force=args.force)
+    try:
+        result = run_sweep(args.name, seed=args.seed, jobs=args.jobs,
+                           cache=cache, overrides=overrides,
+                           force=args.force, check=args.check)
+    except AssertionError as exc:
+        if not args.check:
+            raise
+        print(f"check FAILED: {exc}", file=sys.stderr)
+        return 1
     print(result.render())
     print(f"sweep: {len(result.runs)} cells "
           f"({result.executed} executed, {result.cached} cached) "
@@ -435,8 +515,20 @@ def _cmd_chaos(args) -> int:
     except ValueError as exc:
         print(f"error: cannot arm {args.plan}: {exc}", file=sys.stderr)
         return 1
+    context, monitors, hook = _check_context(args.check)
+    if hook is not None:
+        hook(env, server, gen)
     gen.start()
-    env.run(until=args.duration + 0.5)
+    try:
+        with context as stats:
+            env.run(until=args.duration + 0.5)
+    except AssertionError as exc:
+        if not args.check:
+            raise
+        print(f"check FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        _finish_check(monitors, stats)
     summary = server.metrics.summary()
 
     fault_rows = [[f"{r['t']:.4f}", r["event"], r["kind"],
@@ -541,6 +633,29 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check import run_check
+
+    selected = (args.lint, args.oracles, args.scenarios)
+    everything = not any(selected)
+    report = run_check(
+        lint=everything or args.lint,
+        oracles=everything or args.oracles,
+        scenarios=everything or args.scenarios,
+        paths=tuple(args.paths) if args.paths else ("src",),
+        allowlist=args.allowlist,
+        seed=args.seed,
+        out=print)
+    for finding in report.lint_findings:
+        print(f"lint: {finding}", file=sys.stderr)
+    for problem in report.problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not report.ok:
+        return 1
+    print("check: ok")
+    return 0
+
+
 def _cmd_list_experiments(_args) -> int:
     for name in EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
@@ -576,6 +691,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "resilience": _cmd_resilience,
         "perf": _cmd_perf,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -119,9 +119,18 @@ def bitmap_from_ids(ids: Iterable[int], width: int = WORD_BITS) -> int:
 
 
 def ids_from_bitmap(bitmap: int, width: int = WORD_BITS) -> List[int]:
-    """Decode a bitmap into a sorted list of worker IDs."""
+    """Decode a bitmap into a sorted list of worker IDs.
+
+    Set bits at or above ``width`` are an error, mirroring
+    :func:`bitmap_from_ids`: the eBPF register model is exactly ``width``
+    bits wide, so a wider value was never a valid encoding and silently
+    dropping its high bits would decode a *different* worker set.
+    """
     if bitmap < 0:
         raise ValueError("bitmap must be non-negative")
+    if bitmap >> width:
+        raise ValueError(
+            f"bitmap {bitmap:#x} has set bits >= width {width}")
     return [i for i in range(width) if bitmap & (1 << i)]
 
 

@@ -64,6 +64,12 @@ class HermesDispatchProgram:
             return None
         nth = reciprocal_scale(ctx.hash, n)
         worker_rank = find_nth_set_bit(bitmap, nth)
+        if worker_rank >= self.sock_map.max_entries:
+            # A set bit beyond the sockarray width (corrupt selection
+            # word): ``bpf_sk_select_reuseport`` errors on the bad index
+            # and the kernel falls back to hashing — it never crashes.
+            self.fallbacks_no_socket += 1
+            return None
         socket_index = self.sock_map.select(worker_rank)
         if socket_index is None:
             self.fallbacks_no_socket += 1

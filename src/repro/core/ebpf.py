@@ -71,9 +71,17 @@ class BpfArrayMap:
         self._values[key] = value
 
     def update_from_kernel(self, key: int, value: int) -> None:
-        """In-kernel update (no syscall) — used by kernel-side programs."""
+        """In-kernel update (no syscall) — used by kernel-side programs.
+
+        Enforces the same 64-bit value width as :meth:`update_from_user`:
+        an eBPF program holds the value in a 64-bit register, so an
+        oversized Python int here is a harness bug, and masking it would
+        let kernel- and user-side writes of the "same" value diverge.
+        """
         self._check_key(key)
-        self._values[key] = value & _M64
+        if not 0 <= value <= _M64:
+            raise BpfError(f"value {value:#x} does not fit in 64 bits")
+        self._values[key] = value
 
     def read_from_user(self, key: int) -> int:
         """Userspace ``bpf(BPF_MAP_LOOKUP_ELEM, ...)`` syscall."""

@@ -107,6 +107,11 @@ class Epoll:
         return len(self._interest)
 
     @property
+    def ready_count(self) -> int:
+        """Pending-ready fds not yet harvested (diagnostics; no counters)."""
+        return len(self._ready)
+
+    @property
     def is_sleeping(self) -> bool:
         """True while the owner is blocked inside ``wait()``."""
         return self._sleeper is not None and not self._sleeper.triggered

@@ -36,6 +36,7 @@ __all__ = [
     "CAT_SCHED",
     "CAT_FAULT",
     "CAT_SWEEP",
+    "CAT_CHECK",
 ]
 
 #: Kernel-side mechanisms: wait queues, epoll callbacks, reuseport selection.
@@ -50,6 +51,9 @@ CAT_SCHED = "sched"
 CAT_FAULT = "fault"
 #: Sweep orchestration: ``sweep.start`` / ``sweep.cell.done`` / ``sweep.done``.
 CAT_SWEEP = "sweep"
+
+#: Runtime invariant monitors and differential oracles (repro.check).
+CAT_CHECK = "check"
 
 
 class TraceEvent:

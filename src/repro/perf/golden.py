@@ -75,31 +75,41 @@ def cell_fingerprint(mode: str = "hermes", case: str = "case2",
 
 
 def sec7_fingerprint(seed: int = 79) -> str:
-    """Hash the §7 experience suite (crash blast in both modes + RR/reuse)."""
-    from ..experiments.sec7 import (run_backend_rr, run_connection_reuse,
-                                    run_crash_blast)
-    from ..lb.server import NotificationMode
+    """Hash the §7 experience suite (crash blast in both modes + RR/reuse).
 
-    rr = run_backend_rr()
-    reuse = run_connection_reuse()
-    blasts = {}
-    for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES):
-        blast = run_crash_blast(mode, seed=seed)
-        blasts[mode.value] = {
-            "total_connections": blast.total_connections,
-            "connections_killed": blast.connections_killed,
-            "blast_fraction": blast.blast_fraction,
+    Routed through the registry (never the deprecated ``run_*`` wrappers).
+    ``seed`` anchors the crash-blast cells exactly as before; the registry
+    derives the RR/reuse cell seeds as ``seed - 8`` / ``seed - 6``, which
+    for the default reproduces the historical 71/73/79 assignment — and
+    the pinned golden hash — byte for byte.
+    """
+    from ..experiments.registry import get
+
+    merged = get("sec7").run(seed=seed - 8)
+    cells = merged["cells"]
+    rr = cells["backend_rr"]
+    reuse = cells["connection_reuse"]
+    blasts = {
+        mode: {
+            "total_connections": cells[f"crash_blast/{mode}"]
+            ["total_connections"],
+            "connections_killed": cells[f"crash_blast/{mode}"]
+            ["connections_killed"],
+            "blast_fraction": cells[f"crash_blast/{mode}"]["blast_fraction"],
         }
+        for mode in ("exclusive", "hermes")
+    }
     return fingerprint({
         "backend_rr": {
-            "imbalance_synchronized": rr.imbalance_synchronized,
-            "imbalance_randomized": rr.imbalance_randomized,
+            "imbalance_synchronized": rr["imbalance_synchronized"],
+            "imbalance_randomized": rr["imbalance_randomized"],
         },
         "connection_reuse": {
-            "handshakes_per_worker_pools": reuse.handshakes_per_worker_pools,
-            "handshakes_shared_pool": reuse.handshakes_shared_pool,
-            "added_latency_per_worker": reuse.added_latency_per_worker,
-            "added_latency_shared": reuse.added_latency_shared,
+            "handshakes_per_worker_pools":
+                reuse["handshakes_per_worker_pools"],
+            "handshakes_shared_pool": reuse["handshakes_shared_pool"],
+            "added_latency_per_worker": reuse["added_latency_per_worker"],
+            "added_latency_shared": reuse["added_latency_shared"],
         },
         "crash_blast": blasts,
     })
@@ -107,15 +117,23 @@ def sec7_fingerprint(seed: int = 79) -> str:
 
 def fig13_fingerprint(n_workers: int = 4, duration: float = 2.0,
                       seed: int = 47) -> str:
-    """Hash the Fig. 13 load-balance sweep (all three modes, full series)."""
-    from ..experiments.fig13 import run_fig13
+    """Hash the Fig. 13 load-balance sweep (all three modes, full series).
 
-    result = run_fig13(n_workers=n_workers, duration=duration, seed=seed)
+    Routed through the registry: the fig13 cells run the identical
+    ``_run_mode`` underneath with the identical per-mode seed, and the
+    canonical-JSON normalization the registry applies is exactly what
+    :func:`fingerprint` does anyway, so the pinned hash is unchanged.
+    """
+    from ..experiments.registry import get
+
+    merged = get("fig13").run(
+        seed=seed, overrides={"n_workers": n_workers, "duration": duration})
+    series = merged["cells"]
     return fingerprint({
-        "cpu_sd": result.cpu_sd,
-        "conn_sd": result.conn_sd,
-        "cpu_sd_series": {m: [list(p) for p in s]
-                          for m, s in result.cpu_sd_series.items()},
-        "conn_sd_series": {m: [list(p) for p in s]
-                           for m, s in result.conn_sd_series.items()},
+        "cpu_sd": merged["cpu_sd"],
+        "conn_sd": merged["conn_sd"],
+        "cpu_sd_series": {m: [list(p) for p in doc["cpu_series"]]
+                          for m, doc in series.items()},
+        "conn_sd_series": {m: [list(p) for p in doc["conn_series"]]
+                           for m, doc in series.items()},
     })

@@ -104,14 +104,25 @@ class SweepResult:
         return _registry.get(self.experiment).render(self.merged)
 
 
-def _execute_cell(payload: Tuple[str, str, Dict[str, Any], int]
+def _execute_cell(payload: Tuple[str, str, Dict[str, Any], int, bool]
                   ) -> Tuple[str, Dict[str, Any], float]:
-    """Worker-side cell execution (top-level so it pickles)."""
-    experiment, key, params, seed = payload
+    """Worker-side cell execution (top-level so it pickles).
+
+    The fifth payload element arms live differential oracles around the
+    cell (``repro check``'s ``--check`` mode); checked execution returns
+    the identical doc or raises ``OracleMismatch``.
+    """
+    experiment, key, params, seed = payload[:4]
+    check = payload[4] if len(payload) > 4 else False
     spec = _registry.get(experiment)
     cell = CellSpec(experiment=experiment, key=key, params=params, seed=seed)
     start = time.perf_counter()
-    doc = spec.run_cell(cell)
+    if check:
+        from ..check import live_oracles
+        with live_oracles():
+            doc = spec.run_cell(cell)
+    else:
+        doc = spec.run_cell(cell)
     return key, normalize_doc(doc), time.perf_counter() - start
 
 
@@ -134,6 +145,7 @@ def run_sweep(experiment: str,
               force: bool = False,
               tracer=None,
               progress: Optional[Callable[..., None]] = None,
+              check: bool = False,
               ) -> SweepResult:
     """Run one experiment as a sweep of independent cells.
 
@@ -163,6 +175,11 @@ def run_sweep(experiment: str,
     progress:
         Optional callback ``progress(event, **info)`` mirroring the trace
         events for CLI display.
+    check:
+        Arm live differential oracles around every *executed* cell (a
+        checked run is byte-identical or raises).  Cache hits skip
+        execution and therefore skip the check; pass ``cache=False`` to
+        check the full grid.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -211,7 +228,7 @@ def run_sweep(experiment: str,
     if pending and jobs > 1:
         payloads = {
             index: (experiment, cells[index].key,
-                    dict(cells[index].params), cells[index].seed)
+                    dict(cells[index].params), cells[index].seed, check)
             for index in pending
         }
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -225,7 +242,7 @@ def run_sweep(experiment: str,
         for index in pending:
             _key, doc, elapsed = _execute_cell(
                 (experiment, cells[index].key, dict(cells[index].params),
-                 cells[index].seed))
+                 cells[index].seed, check))
             finish(index, doc, elapsed)
 
     # Merge strictly in enumeration order: worker completion order (and

@@ -101,6 +101,18 @@ class TestBitmapCodec:
         with pytest.raises(ValueError):
             ids_from_bitmap(-1)
 
+    def test_set_bits_beyond_width_rejected(self):
+        # Regression: these used to decode by silently dropping the high
+        # bits — a bitmap wider than the register is never a valid
+        # encoding and must not alias a narrower worker set.
+        with pytest.raises(ValueError, match="set bits >= width"):
+            ids_from_bitmap(1 << 64)
+        with pytest.raises(ValueError, match="set bits >= width"):
+            ids_from_bitmap(0b10000, width=4)
+        # The full default width itself stays valid.
+        assert ids_from_bitmap(1 << 63) == [63]
+        assert ids_from_bitmap(0b1000, width=4) == [3]
+
     @given(st.sets(st.integers(min_value=0, max_value=63)))
     def test_roundtrip_property(self, ids):
         assert ids_from_bitmap(bitmap_from_ids(ids)) == sorted(ids)

@@ -47,6 +47,19 @@ class TestArrayMap:
         assert m.user_updates == 0
         assert m.lookup(0) == 7
 
+    def test_kernel_update_value_width_enforced(self):
+        # Regression: oversized kernel-side writes used to be masked to
+        # 64 bits, letting kernel and user writes of the "same" value
+        # diverge; both sides now reject alike.
+        m = BpfArrayMap(1)
+        with pytest.raises(BpfError):
+            m.update_from_kernel(0, 1 << 64)
+        with pytest.raises(BpfError):
+            m.update_from_kernel(0, -1)
+        assert m.read_from_user(0) == 0  # the bad write never landed
+        m.update_from_kernel(0, (1 << 64) - 1)  # the max value still fits
+        assert m.read_from_user(0) == (1 << 64) - 1
+
     def test_user_read(self):
         m = BpfArrayMap(1)
         m.update_from_kernel(0, 9)

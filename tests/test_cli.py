@@ -285,3 +285,84 @@ class TestCommands:
         assert len(lines) == 64
         for line in lines:
             json.loads(line)
+
+
+class TestCheckCommand:
+    def test_check_parser_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.lint is False
+        assert args.oracles is False
+        assert args.scenarios is False
+        assert args.paths is None
+        assert args.seed == 7
+
+    def test_check_parser_subsets(self):
+        args = build_parser().parse_args(
+            ["check", "--lint", "--path", "src", "--path", "tools",
+             "--allowlist", "custom.txt"])
+        assert args.lint is True
+        assert args.paths == ["src", "tools"]
+        assert args.allowlist == "custom.txt"
+
+    def test_run_and_chaos_and_sweep_accept_check_flag(self):
+        assert build_parser().parse_args(["run", "--check"]).check is True
+        assert build_parser().parse_args(
+            ["chaos", "--plan", "p.json", "--check"]).check is True
+        assert build_parser().parse_args(
+            ["sweep", "table3", "--check"]).check is True
+        assert build_parser().parse_args(["run"]).check is False
+
+    def test_check_lint_clean_repo(self, capsys):
+        rc = main(["check", "--lint"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+        assert "check: ok" in out
+
+    def test_check_lint_finds_planted_nondeterminism(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        empty_allow = tmp_path / "allow.txt"
+        empty_allow.write_text("")
+        rc = main(["check", "--lint", "--path", str(bad),
+                   "--allowlist", str(empty_allow)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "wall-clock" in captured.err
+
+    def test_check_oracles_phase(self, capsys):
+        rc = main(["check", "--oracles"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "comparison(s) agreed" in out
+
+    def test_run_with_check_reports_and_passes(self, capsys):
+        rc = main(["run", "--workers", "2", "--duration", "0.5", "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 violations" in out
+        assert "invariant evaluation(s)" in out
+
+    def test_chaos_with_check(self, capsys, tmp_path):
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_CRASH, at=0.3, target=0,
+                      detect_delay=0.005),
+        ), seed=5).save(str(plan_path))
+        rc = main(["chaos", "--plan", str(plan_path), "--workers", "2",
+                   "--duration", "0.6", "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 violations" in out
+        assert "fault timeline" in out
+
+    def test_sweep_with_check(self, capsys, tmp_path):
+        rc = main(["sweep", "table3", "--no-cache", "--check",
+                   "--set", 'cases=["case2"]', "--set", 'loads=["light"]',
+                   "--set", 'modes=["hermes"]',
+                   "--set", "duration_scale=0.1", "--set", "n_workers=2",
+                   "--set", "settle=0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 cells" in out

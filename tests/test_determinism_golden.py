@@ -16,8 +16,14 @@ model fix), re-capture with::
 and say so in the PR description.
 """
 
+import pytest
+
 from repro.perf.golden import (cell_fingerprint, fig13_fingerprint,
                                sec7_fingerprint)
+
+# The golden entry points must stay off deprecated wrappers: any
+# DeprecationWarning raised while producing a fingerprint is a failure.
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
 
 # Captured at commit 4bc651e (pre-fast-path).
 GOLDEN_CELL = \
