@@ -1,7 +1,7 @@
 # Convenience targets for the Hermes reproduction.
 
-.PHONY: install test bench perf perf-check sweep-check check examples \
-    experiments clean
+.PHONY: install test bench perf perf-check sweep-check check prequal \
+    examples experiments clean
 
 install:
 	pip install -e .
@@ -46,6 +46,26 @@ sweep-check:
 check:
 	PYTHONPATH=src python -m repro check
 
+# The prequal gate (what the CI prequal job runs): mode smoke with
+# monitors + live oracles armed, ablation-sweep byte-equality serial vs
+# parallel, and the three-architecture resilience cell on the §7 crash.
+prequal:
+	PYTHONPATH=src python -m repro run --mode prequal --case case1 \
+	    --load light --workers 4 --duration 2 --set reuse_budget=2 --check
+	PYTHONPATH=src python -m repro sweep prequal_ablation --seed 7 \
+	    --jobs 1 --no-cache \
+	    --set 'cells=["policy/hcl","policy/latency","policy/rif"]' \
+	    --set duration=1.0 --set base_rate=400.0 --out prequal.serial.json
+	PYTHONPATH=src python -m repro sweep prequal_ablation --seed 7 \
+	    --jobs 4 --no-cache \
+	    --set 'cells=["policy/hcl","policy/latency","policy/rif"]' \
+	    --set duration=1.0 --set base_rate=400.0 --out prequal.parallel.json
+	cmp prequal.serial.json prequal.parallel.json
+	@echo "prequal ablation sweep is byte-identical to serial"
+	PYTHONPATH=src python -m repro resilience --scenario worker_crash \
+	    --mode exclusive --mode hermes --mode prequal --seed 7 \
+	    --out showdown.json
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
 
@@ -54,5 +74,6 @@ experiments:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
-	    benchmarks/results .benchmarks .sweep-cache sweep.*.json
+	    benchmarks/results .benchmarks .sweep-cache sweep.*.json \
+	    prequal.*.json showdown.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Three architectures, one fault: EXCLUSIVE vs HERMES vs PREQUAL.
+
+The repo's head-to-head in one table.  EXCLUSIVE is load-oblivious kernel
+wakeup (the LIFO winner carries the device), HERMES steers from *exact*
+load state (the paper's userspace-directed notification), and PREQUAL
+(``repro.prequal``, modeled on Google's Prequal) balances on *probed*
+signals: pooled probe replies carrying requests-in-flight and estimated
+latency, picked through hot/cold lanes.
+
+Under the §7 worker-crash scenario the expected shape is:
+
+- **PREQUAL beats EXCLUSIVE on p99** — probing routes new connections
+  around the dead worker long before the kernel's detection window ends;
+- **HERMES keeps the blast-radius and recovery wins** — exact state beats
+  probe estimates: fewer connections pinned to the victim, fewer failures,
+  a faster return to the normal latency band.
+
+The same ordering holds under ``slow_worker`` (thermal throttling), where
+EXCLUSIVE's p99 blows up by an order of magnitude and both load-aware
+modes dodge the victim.
+
+Run:  python examples/prequal_vs_hermes.py
+"""
+
+from repro.faults import run_resilience_cell
+from repro.lb.server import NotificationMode
+
+MODES = (NotificationMode.EXCLUSIVE, NotificationMode.HERMES,
+         NotificationMode.PREQUAL)
+
+
+def showdown(scenario: str, seed: int = 7) -> None:
+    print(f"\n=== {scenario} (seed {seed}) ===")
+    print(f"{'mode':10s} {'p99(ms)':>9s} {'blast':>7s} {'hung':>6s} "
+          f"{'failed':>7s} {'recovery(s)':>12s}")
+    for mode in MODES:
+        cell = run_resilience_cell(scenario, mode, seed=seed)
+        print(f"{cell.mode:10s} {cell.p99_ms:9.2f} "
+              f"{cell.blast_radius * 100:6.1f}% {cell.hung_requests:6d} "
+              f"{cell.failed:7d} {cell.recovery_time:12.3f}")
+
+
+def main() -> None:
+    showdown("worker_crash")
+    showdown("slow_worker")
+    print("\nExpect: prequal < exclusive on p99 in both scenarios, while "
+          "hermes keeps\nthe smallest blast radius and recovery time — "
+          "probes beat obliviousness,\nexact state beats probes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,15 @@ Checked invariants, per tick:
   consecutive ticks with no intervening wait, the wakeup was lost.
 - **Clock monotonicity** — the sim clock never runs backwards, and no
   WST timestamp comes from the future.
+- **Probe-pool conservation** (PREQUAL mode) — every probe sample that
+  ever entered the pool is consumed, evicted, or still pooled
+  (``issued == consumed + evicted + in_pool``), and the pool never
+  exceeds its configured capacity.
+
+Connection conservation counts *client* connections only: probe
+connections (negative tenant ids) are injected by a prober directly into
+the worker — they never pass the accept path, so they appear in neither
+``accepted`` nor the WST connection columns.
 
 Violations emit a ``check.violation`` trace event, capture a flight-
 recorder dump when a recorder is wired, and raise
@@ -171,6 +180,13 @@ class InvariantMonitor:
         self._check_conservation()
         self._check_bitmap_wst()
         self._check_lost_wakeup()
+        self._check_prequal()
+
+    @staticmethod
+    def _client_conns(worker) -> int:
+        """Live client connections (probe streams are infrastructure)."""
+        return sum(1 for conn in worker.conns.values()
+                   if conn.tenant_id >= 0)
 
     def _check_clock(self) -> None:
         now = self.env.now
@@ -200,7 +216,7 @@ class InvariantMonitor:
                 # The dispatcher accepts on behalf of its backends; its
                 # own ledger is the backends', checked separately.
                 continue
-            in_flight = len(worker.conns)
+            in_flight = self._client_conns(worker)
             closed = worker.metrics.closed
             resets = self._resets.get(worker.worker_id, 0)
             if accepted != closed + in_flight + resets:
@@ -246,12 +262,13 @@ class InvariantMonitor:
                 if (worker.is_alive
                         and worker.worker_id not in self._crashed_ever):
                     _t, _events, wst_conns = group.wst.read_worker(rank)
-                    if wst_conns != len(worker.conns):
+                    client_conns = self._client_conns(worker)
+                    if wst_conns != client_conns:
                         self._violate(
                             "bitmap_wst",
                             f"group {group.group_id}: WST conn column of "
                             f"rank {rank} is {wst_conns}, worker "
-                            f"{worker.worker_id} holds {len(worker.conns)}")
+                            f"{worker.worker_id} holds {client_conns}")
                         return
         self._passed("bitmap_wst")
 
@@ -275,6 +292,27 @@ class InvariantMonitor:
                 suspects[worker.worker_id] = progress
         self._sleep_suspects = suspects
         self._passed("lost_wakeup")
+
+    def _check_prequal(self) -> None:
+        prequal = getattr(self.server, "prequal", None)
+        if prequal is None:
+            self._passed("probe_pool")
+            return
+        pool = prequal.pool
+        if not pool.conserved():
+            self._violate(
+                "probe_pool",
+                f"probe-pool ledger broken: issued {pool.issued} != "
+                f"consumed {pool.consumed} + evicted {pool.evicted} + "
+                f"in-pool {len(pool.entries)}")
+            return
+        if len(pool.entries) > pool.capacity:
+            self._violate(
+                "probe_pool",
+                f"probe pool holds {len(pool.entries)} samples, capacity "
+                f"is {pool.capacity}")
+            return
+        self._passed("probe_pool")
 
     # -- end-of-run checks -------------------------------------------------
     def finalize(self) -> Dict[str, int]:

@@ -13,7 +13,9 @@ paths); each one gets a reference here that is deliberately *dumb*:
 - :func:`ref_jhash_words` / :func:`ref_jhash_4tuple` — an independent
   transcription of the kernel's ``jhash2`` using ``% 2**32`` arithmetic;
 - :func:`ref_cascade` — the cascade re-derived from the paper's prose,
-  one filter at a time, with none of the scheduler's hoisted state.
+  one filter at a time, with none of the scheduler's hoisted state;
+- :func:`ref_prequal_select` — the Prequal hot/cold-lane pick re-derived
+  by naive full re-scan of a pool snapshot.
 
 :func:`checked` fuses a fast path with its reference (raising
 :class:`OracleMismatch` on any divergence), and :func:`live_oracles` is
@@ -37,6 +39,7 @@ __all__ = [
     "ref_jhash_words",
     "ref_jhash_4tuple",
     "ref_cascade",
+    "ref_prequal_select",
     "checked",
     "live_oracles",
 ]
@@ -176,6 +179,48 @@ def ref_cascade(times: Sequence[float], events: Sequence[float],
     return candidates
 
 
+def ref_prequal_select(entries: Sequence[tuple], now: float, max_age: float,
+                       q_hot: float, policy: str) -> Optional[tuple]:
+    """The Prequal selection contract by naive full re-scan.
+
+    ``entries`` is a pool snapshot *before* the fast path ran:
+    ``(worker_id, rif, latency, t)`` tuples in arrival order.  Returns the
+    winning ``(worker_id, rif, latency)`` or ``None`` for an empty (or
+    fully stale) pool.  No lanes are precomputed, no sort keys — every
+    candidate is walked and compared field by field.
+    """
+    live = [e for e in entries if e[3] >= now - max_age]
+    if not live:
+        return None
+
+    def scan(candidates, first, second):
+        # first/second: tuple indices of the primary/secondary sort field
+        # (worker id is always the final tie-break).
+        best = candidates[0]
+        for entry in candidates[1:]:
+            key_entry = (entry[first], entry[second], entry[0])
+            key_best = (best[first], best[second], best[0])
+            if key_entry < key_best:
+                best = entry
+        return best
+
+    if policy == "latency":
+        winner = scan(live, 2, 1)
+    elif policy == "rif":
+        winner = scan(live, 1, 2)
+    elif policy == "hcl":
+        rifs = sorted(entry[1] for entry in live)
+        threshold = rifs[min(len(rifs) - 1, int(q_hot * len(rifs)))]
+        cold = [entry for entry in live if entry[1] <= threshold]
+        if cold:
+            winner = scan(cold, 2, 1)
+        else:
+            winner = scan(live, 1, 2)
+    else:
+        raise ValueError(f"unknown prequal policy {policy!r}")
+    return (winner[0], winner[1], winner[2])
+
+
 # ---------------------------------------------------------------------------
 # Fusing fast paths with their references.
 # ---------------------------------------------------------------------------
@@ -250,12 +295,15 @@ def live_oracles():
     from ..core import dispatch as _dispatch
     from ..core import groups as _groups
     from ..core.scheduler import CascadingScheduler
+    from ..prequal.selector import PrequalSelector
 
     stats = OracleStats()
     saved = (_dispatch.popcount64, _dispatch.find_nth_set_bit,
              _dispatch.reciprocal_scale, CascadingScheduler.select_workers,
-             _groups.reciprocal_scale, _groups.jhash_words)
+             _groups.reciprocal_scale, _groups.jhash_words,
+             PrequalSelector.select)
     fast_select = saved[3]
+    fast_prequal = saved[6]
 
     def checked_select(self, snapshot, now):
         # Copy the columns first: ``snapshot`` may be the scheduler's
@@ -277,6 +325,25 @@ def live_oracles():
         stats.count("cascade")
         return selected
 
+    def checked_prequal(self, now):
+        # Snapshot first: the fast path evicts stale samples and charges
+        # the winner's reuse budget as it runs.
+        entries = [(s.worker_id, s.rif, s.latency, s.t)
+                   for s in self.pool.entries]
+        decision = fast_prequal(self, now)
+        want = ref_prequal_select(entries, now, self.pool.max_age,
+                                  self.config.q_hot, self.config.policy)
+        got = (None if decision is None
+               else (decision.worker_id, decision.rif, decision.latency))
+        if got != want:
+            stats.mismatches += 1
+            raise OracleMismatch(
+                f"prequal selected {got!r}, reference says {want!r} "
+                f"(now={now}, policy={self.config.policy}, "
+                f"pool={entries!r})")
+        stats.count("prequal_select")
+        return decision
+
     _dispatch.popcount64 = checked(
         saved[0], ref_popcount64, "popcount64", stats)
     _dispatch.find_nth_set_bit = checked(
@@ -290,6 +357,7 @@ def live_oracles():
         saved[4], ref_reciprocal_scale, "reciprocal_scale", stats)
     _groups.jhash_words = checked(
         saved[5], ref_jhash_words, "jhash_words", stats)
+    PrequalSelector.select = checked_prequal
     try:
         yield stats
     finally:
@@ -297,3 +365,4 @@ def live_oracles():
          _dispatch.reciprocal_scale) = saved[:3]
         CascadingScheduler.select_workers = saved[3]
         _groups.reciprocal_scale, _groups.jhash_words = saved[4:6]
+        PrequalSelector.select = saved[6]

@@ -4,6 +4,7 @@
 
     python -m repro run --mode hermes --case case2 --load medium
     python -m repro run --mode hermes --case case2 --trace out.json
+    python -m repro run --mode prequal --set pool_size=32 --set policy=hcl
     python -m repro trace --case case2 --load medium --out trace.json
     python -m repro compare --case case3 --load heavy
     python -m repro experiment table3
@@ -12,6 +13,7 @@
     python -m repro list-experiments
     python -m repro chaos --plan plan.json --mode hermes
     python -m repro resilience --seed 7 --out matrix.json
+    python -m repro resilience --mode hermes --mode prequal
     python -m repro perf --quick --check BENCH_perf.json
     python -m repro check
     python -m repro check --lint
@@ -42,7 +44,10 @@ byte-identical, or the command fails.
 same ``--seed`` / ``--out`` / ``--jobs`` contract: explicit seed, optional
 canonical-JSON output, worker process count (single-device commands accept
 ``--jobs`` for interface uniformity and validate it, but execute their one
-cell in-process).
+cell in-process).  ``--set KEY=VALUE`` is the uniform override spelling:
+on ``run`` it sets :class:`repro.prequal.PrequalConfig` tunables (requires
+``--mode prequal``; ``repro list`` shows each experiment's tunables), on
+``experiment``/``sweep``/``resilience`` it overrides the grid.
 """
 
 from __future__ import annotations
@@ -135,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check", action="store_true",
                      help="arm invariant monitors and live differential "
                           "oracles (byte-identical results, or an error)")
+    run.add_argument("--set", action="append", default=None,
+                     metavar="KEY=VALUE", dest="overrides",
+                     help="prequal tunable override, repeatable (requires "
+                          "--mode prequal), e.g. --set pool_size=32")
     _add_jobs(run)
 
     trace = sub.add_parser(
@@ -177,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--out", metavar="PATH", default=None,
                             help="also write the merged result as "
                                  "canonical JSON")
+    experiment.add_argument("--set", action="append", default=None,
+                            metavar="KEY=VALUE", dest="overrides",
+                            help="grid override, JSON-parsed (repeatable); "
+                                 "see the experiment's tunables in "
+                                 "`repro list`")
     _add_jobs(experiment)
 
     sweep = sub.add_parser(
@@ -239,8 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--scenario", action="append", default=None,
                             metavar="NAME", dest="scenarios",
                             help="run only this scenario (repeatable)")
+    resilience.add_argument("--mode", action="append", default=None,
+                            metavar="MODE", dest="modes",
+                            choices=[m.value for m in NotificationMode],
+                            help="run only this mode (repeatable; default: "
+                                 "exclusive, reuseport, hermes, prequal)")
     resilience.add_argument("--out", metavar="PATH", default=None,
                             help="also write the matrix as canonical JSON")
+    resilience.add_argument("--set", action="append", default=None,
+                            metavar="KEY=VALUE", dest="overrides",
+                            help="grid override, JSON-parsed (repeatable)")
     _add_jobs(resilience)
 
     perf = sub.add_parser(
@@ -309,6 +331,19 @@ def _cmd_run(args) -> int:
     from .experiments.common import run_case_cell
 
     mode = NotificationMode(args.mode)
+    prequal_config = None
+    if args.overrides:
+        if mode is not NotificationMode.PREQUAL:
+            print("error: --set tunables require --mode prequal",
+                  file=sys.stderr)
+            return 1
+        from .prequal import config_from_overrides
+        try:
+            prequal_config = config_from_overrides(
+                _parse_overrides(args.overrides))
+        except (argparse.ArgumentTypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     ports = tuple(20001 + i for i in range(args.ports))
     tracer = None
     if getattr(args, "trace", None):
@@ -321,7 +356,8 @@ def _cmd_run(args) -> int:
                                    n_workers=args.workers,
                                    duration=args.duration, ports=ports,
                                    seed=args.seed, tracer=tracer,
-                                   env_hook=hook)
+                                   env_hook=hook,
+                                   prequal_config=prequal_config)
     except AssertionError as exc:
         if not args.check:
             raise
@@ -433,8 +469,13 @@ def _cmd_experiment(args) -> int:
     # argparse validated the name against EXPERIMENTS already.
     from .sweep import run_sweep
 
+    try:
+        overrides = _parse_overrides(args.overrides or [])
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     result = run_sweep(args.name, seed=args.seed, jobs=args.jobs,
-                       cache=False)
+                       cache=False, overrides=overrides)
     print(result.render())
     if args.out:
         if not _write_json(args.out, result.to_json()):
@@ -582,9 +623,16 @@ def _cmd_resilience(args) -> int:
             print(f"error: unknown scenario(s) {', '.join(unknown)}; "
                   f"choose from {', '.join(SCENARIOS)}", file=sys.stderr)
             return 1
-    overrides = {"n_workers": args.workers}
+    try:
+        overrides = _parse_overrides(args.overrides or [])
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    overrides["n_workers"] = args.workers
     if args.scenarios:
         overrides["scenarios"] = list(args.scenarios)
+    if args.modes:
+        overrides["modes"] = list(args.modes)
     # The sweep's merged document IS the canonical matrix payload, so the
     # JSON below is byte-identical to ResilienceMatrix.to_json(indent=2)
     # whatever --jobs is.
@@ -675,6 +723,9 @@ def _cmd_list(args) -> int:
         info = registry.describe(name)
         print(f"{name:14s} cells={info['n_cells']:3d} "
               f"seed={info['default_seed']:4d}  {info['title']}")
+        if info["tunables"]:
+            print(f"{'':14s} tunables: "
+                  + ", ".join(sorted(info["tunables"])))
     return 0
 
 

@@ -59,7 +59,7 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "table1", "table2", "table3", "table4", "table5",
     "fig3", "fig45", "fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
     "figa4", "figa5", "sec7", "appc", "ablations", "pool_capacity",
-    "isolation", "scaling", "resilience",
+    "isolation", "scaling", "resilience", "prequal_ablation",
 )
 
 
@@ -111,6 +111,9 @@ class ExperimentSpec:
     #: ``render(merged) -> str`` — the human-readable paper table.
     render: Callable[[Dict[str, Any]], str]
     default_seed: int = 7
+    #: Tunable name -> one-line description, for ``repro list`` metadata
+    #: (empty for experiments without override knobs).
+    tunables: Dict[str, str] = field(default_factory=dict)
 
     def run(self, seed: Optional[int] = None,
             overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -164,6 +167,7 @@ def describe(name: str) -> Dict[str, Any]:
         "default_seed": spec.default_seed,
         "n_cells": len(cells),
         "cell_keys": [cell.key for cell in cells],
+        "tunables": dict(spec.tunables),
     }
 
 
@@ -237,7 +241,9 @@ def lined_experiment(name: str, title: str,
                                                Tuple[CellSpec, ...]],
                      run_cell: Callable[[CellSpec], Dict[str, Any]],
                      default_seed: int = 7,
-                     header: str = "") -> ExperimentSpec:
+                     header: str = "",
+                     tunables: Optional[Mapping[str, str]] = None,
+                     ) -> ExperimentSpec:
     """Register a multi-cell experiment rendered as per-cell lines.
 
     Each cell document carries its own ``"rendered"`` line; the merged
@@ -259,4 +265,5 @@ def lined_experiment(name: str, title: str,
 
     return register(ExperimentSpec(
         name=name, title=title, cells=enumerate_cells, run_cell=run_cell,
-        merge=merge, render=render, default_seed=default_seed))
+        merge=merge, render=render, default_seed=default_seed,
+        tunables=dict(tunables or {})))

@@ -58,7 +58,12 @@ def _render(merged: dict) -> str:
 register(ExperimentSpec(
     name="resilience", title="Fault × mode resilience matrix",
     cells=_cells, run_cell=_run_cell, merge=_merge,
-    render=_render, default_seed=7))
+    render=_render, default_seed=7,
+    tunables={
+        "scenarios": "scenario subset (default: all four)",
+        "modes": "mode subset (default: exclusive/reuseport/hermes/prequal)",
+        "n_workers": "workers behind each device",
+    }))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

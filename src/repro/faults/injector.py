@@ -185,9 +185,16 @@ class FaultInjector:
         self.env.schedule_callback(spec.duration, clear)
 
     def _blast_stats(self, worker) -> Dict[str, int]:
-        counts = self.server.connection_counts()
-        return {"conns_at_risk": len(worker.conns),
-                "total_conns": sum(counts)}
+        # Client connections only: probe streams (negative tenant ids) die
+        # with the worker but are re-pinned by their prober, so they are
+        # not part of the blast radius.
+        def clients(w) -> int:
+            return sum(1 for conn in w.conns.values()
+                       if conn.tenant_id >= 0)
+
+        return {"conns_at_risk": clients(worker),
+                "total_conns": sum(clients(w)
+                                   for w in self.server.workers)}
 
     def _fire_hang(self, spec: FaultSpec, index: int,
                    occurrence: int) -> None:

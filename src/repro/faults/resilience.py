@@ -49,11 +49,14 @@ __all__ = ["ResilienceCell", "ResilienceMatrix", "SCENARIOS",
            "RESILIENCE_MODES", "run_resilience_cell", "run_resilience_matrix",
            "render_matrix"]
 
-#: Modes compared in the matrix (the Table 3 trio).
+#: Modes compared in the matrix: the Table 3 trio plus PREQUAL, the
+#: probe-based latency balancer (``repro.prequal``) — the architectural
+#: head-to-head the matrix exists for.
 RESILIENCE_MODES: Tuple[NotificationMode, ...] = (
     NotificationMode.EXCLUSIVE,
     NotificationMode.REUSEPORT,
     NotificationMode.HERMES,
+    NotificationMode.PREQUAL,
 )
 
 #: Completions slower than this count as hung (well above the ~ms service

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..sim.engine import Environment
 from .hash import FourTuple
@@ -49,6 +49,9 @@ class Request:
     completed_time: float = -1.0
     #: Index of the next event awaiting processing.
     next_event: int = 0
+    #: Invoked by the worker when the request completes (probe replies use
+    #: this to report back to their issuer on the sim clock).
+    on_complete: Optional[Callable[["Request"], None]] = None
 
     @property
     def total_service(self) -> float:

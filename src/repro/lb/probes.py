@@ -36,6 +36,9 @@ class ProbeReport:
     delayed: int = 0
     #: Probes that never completed before measurement (hung/crashed worker).
     lost: int = 0
+    #: Probe connections re-established after their worker was cleaned up
+    #: (crash+restart re-pins the probe stream to the fresh process).
+    repinned: int = 0
     delays: Samples = field(default_factory=lambda: Samples("probe_delay"))
 
     @property
@@ -89,6 +92,13 @@ class Prober:
         worker = self.server.workers[worker_id]
         if not worker.is_alive:
             return None
+        if conn is not None:
+            # The previous probe stream died with the worker (its fd was
+            # reset at failure detection); pin a fresh one to the restarted
+            # process.  The worker keeps its id — and in reuseport modes its
+            # socket keeps a stable group index — so probe identity is
+            # preserved across the crash.
+            self.report.repinned += 1
         from ..kernel.hash import FourTuple
         conn = Connection(
             FourTuple(0x7F000001, 50000 + worker_id, 0x7F000001, 0),
@@ -120,10 +130,14 @@ class Prober:
             # Crashed worker: the probe times out — count as lost.
             self.report.lost += 1
             return
-        probe = Request(tenant_id=-1, size_bytes=64,
-                        event_times=(self.PROBE_COST,), handler="probe")
+        probe = self._build_probe(worker_id)
         conn.deliver_request(probe, self.env.now)
         self._inflight.append((probe, self.env.now))
+
+    def _build_probe(self, worker_id: int) -> Request:
+        """The probe request for ``worker_id`` (subclass hook)."""
+        return Request(tenant_id=-1, size_bytes=64,
+                       event_times=(self.PROBE_COST,), handler="probe")
 
     def _harvest(self) -> None:
         """Resolve completed probes; expire overdue ones as delayed/lost."""

@@ -46,6 +46,10 @@ class NotificationMode(Enum):
     IOURING_FIFO = "iouring_fifo"
     REUSEPORT = "reuseport"
     HERMES = "hermes"
+    #: Probe-based, latency-aware scheduling (Google Prequal): reuseport
+    #: sockets plus a dispatch program fed by a pool of async probe replies
+    #: carrying RIF + estimated latency (``repro.prequal``).
+    PREQUAL = "prequal"
     #: The §2.2 userspace-dispatcher baseline: one dedicated worker
     #: accepts everything and hands off least-loaded.
     USERSPACE_DISPATCHER = "userspace_dispatcher"
@@ -68,7 +72,7 @@ class LBServer:
                  hash_seed: int = 0, nic: Optional[Nic] = None,
                  group_key_mode: str = "four_tuple",
                  stagger_registration: bool = False,
-                 name: str = "lb", tracer=None):
+                 name: str = "lb", tracer=None, prequal_config=None):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if not ports:
@@ -90,6 +94,8 @@ class LBServer:
         self.metrics = DeviceMetrics(env)
         self.groups: List[HermesGroup] = []
         self.dispatch_program = None
+        #: :class:`repro.prequal.PrequalState` when mode is PREQUAL.
+        self.prequal = None
         #: worker_id -> {port -> dedicated socket} (reuseport modes).
         self._worker_sockets: Dict[int, Dict[int, ListeningSocket]] = {}
 
@@ -114,6 +120,8 @@ class LBServer:
 
         if mode is NotificationMode.HERMES:
             self._setup_hermes(group_key_mode)
+        elif mode is NotificationMode.PREQUAL:
+            self._setup_prequal(prequal_config)
         elif mode is NotificationMode.REUSEPORT:
             self._setup_reuseport()
         elif dispatcher_mode:
@@ -187,12 +195,33 @@ class LBServer:
             for rank, worker_id in enumerate(group.worker_ids):
                 group.sock_map.install(rank, worker_id)
 
+    def _setup_prequal(self, prequal_config) -> None:
+        """Reuseport sockets in worker order + the Prequal dispatch program
+        attached to every port's group — the same attachment point as the
+        Hermes eBPF program, with the probe pool in place of the WST."""
+        # Lazy import: repro.prequal builds on repro.lb.
+        from ..prequal import PrequalConfig, build_prequal
+        for port in self.ports:
+            for worker in self.workers:
+                socket = self.stack.bind_reuseport(port, owner=worker)
+                worker.add_listen_socket(socket)
+                self._worker_sockets.setdefault(
+                    worker.worker_id, {})[port] = socket
+        self.prequal = build_prequal(
+            self.env, self, prequal_config or PrequalConfig(),
+            tracer=self.tracer)
+        self.dispatch_program = self.prequal.program
+        for port in self.ports:
+            self.stack.group_for(port).attach_program(self.dispatch_program)
+
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
         """Spawn every worker process."""
         for worker in self.workers:
             worker.refresh_socket_accounting()
             worker.start()
+        if self.prequal is not None:
+            self.prequal.prober.start()
 
     @property
     def n_workers(self) -> int:
@@ -247,10 +276,15 @@ class LBServer:
         if worker.hermes is not None:
             group = worker.hermes.group
             group.sock_map.remove(worker.hermes.rank)
-        blast = len(worker.conns)
+        # Probe connections (negative tenant ids) die with the worker too,
+        # but they are infrastructure: they count toward neither the blast
+        # radius nor the failure metric, and their prober re-pins them.
+        blast = 0
         for conn in list(worker.conns.values()):
+            if conn.tenant_id >= 0:
+                blast += 1
+                self.metrics.record_failure()
             conn.reset("worker crashed")
-            self.metrics.record_failure()
         worker.conns.clear()
         worker.metrics.connections.set(0)
         if self.tracer is not None:
@@ -291,6 +325,8 @@ class LBServer:
             if worker.hermes is not None and new_index is not None:
                 binding = worker.hermes
                 binding.group.sock_map.install(binding.rank, new_index)
+            if self.prequal is not None and new_index is not None:
+                self.prequal.program.repoint(worker_id, new_index)
         worker.restart()
         if self.tracer is not None:
             self.tracer.instant("worker.restart", "worker", worker=worker_id)

@@ -214,6 +214,19 @@ class Worker:
     def connection_count(self) -> int:
         return len(self.conns)
 
+    @property
+    def requests_in_flight(self) -> int:
+        """Client request events delivered but not yet processed (RIF).
+
+        Probe traffic (negative tenant ids) is infrastructure and does not
+        count toward the load signal it is measuring.
+        """
+        total = 0
+        for fd, conn in self.conns.items():
+            if conn.tenant_id >= 0:
+                total += fd.pending_events
+        return total
+
     # -- Hermes instrumentation helpers --------------------------------------
     def _hermes_touch(self) -> None:
         if self.hermes is None:
@@ -391,8 +404,11 @@ class Worker:
                 tracer.instant("request.complete", "worker",
                                worker=self.worker_id, conn=conn.id,
                                request=rid, latency=request.latency)
-            self.device.record_request(request.latency, self.worker_id,
-                                       tenant_id=request.tenant_id)
+            if request.tenant_id >= 0:
+                self.device.record_request(request.latency, self.worker_id,
+                                           tenant_id=request.tenant_id)
+            if request.on_complete is not None:
+                request.on_complete(request)
 
     def _close_conn(self, conn: Connection, failed: bool = False):
         fd = conn.fd

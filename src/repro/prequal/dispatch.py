@@ -1,0 +1,95 @@
+"""The Prequal dispatch program: pool-driven SYN routing.
+
+Implements the kernel's :class:`~repro.kernel.reuseport.SocketSelector`
+protocol, the same attachment point Hermes's eBPF program uses — but where
+Hermes consults the WST cascade's precomputed schedule, this consults the
+probe pool's hot/cold-lane selector.  An empty (or fully stale) pool
+declines the decision and the reuseport group falls back to stateless
+hashing, so the device degrades to plain REUSEPORT rather than stalling.
+
+Like Hermes's ``REUSEPORT_SOCKARRAY``, the program maps worker ids to
+member-socket indices.  Sockets are bound in worker order on every port
+(index == worker id) and crash+restart appends fresh sockets while
+tombstoning old ones, so :meth:`repoint` keeps the mapping stable across
+the §7 incident lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..kernel.reuseport import ReuseportContext
+from .config import PrequalConfig
+from .pool import ProbePool
+from .selector import PrequalSelector
+
+__all__ = ["PrequalDispatchProgram", "PrequalState"]
+
+
+class PrequalDispatchProgram:
+    """Routes each SYN via the probe pool (SocketSelector protocol)."""
+
+    def __init__(self, selector: PrequalSelector, clock, n_workers: int,
+                 prober=None, tracer=None):
+        self.selector = selector
+        self.clock = clock
+        self.prober = prober
+        self.tracer = tracer
+        #: worker id -> member-socket index (bind order makes them equal
+        #: until a crash+restart appends a fresh socket).
+        self._sock_index: List[int] = list(range(n_workers))
+        # -- statistics -----------------------------------------------------
+        self.selections = 0
+        self.fallbacks = 0
+
+    def repoint(self, worker_id: int, index: int) -> None:
+        """Re-pin a restarted worker to its fresh member-socket index."""
+        self._sock_index[worker_id] = index
+
+    def run(self, ctx: ReuseportContext) -> Optional[int]:
+        decision = self.selector.select(self.clock())
+        if self.prober is not None:
+            # Reactive pool replenishment (probe-per-query); after the
+            # selection so this decision never observes its own probes.
+            self.prober.on_dispatch()
+        if decision is None:
+            self.fallbacks += 1
+            if self.tracer is not None:
+                self.tracer.instant("prequal.fallback", "prequal",
+                                    hash=ctx.hash)
+            return None
+        self.selections += 1
+        if self.tracer is not None:
+            self.tracer.instant("prequal.select", "prequal",
+                                worker=decision.worker_id, lane=decision.lane,
+                                rif=decision.rif, latency=decision.latency,
+                                pool=decision.pool_depth)
+        return self._sock_index[decision.worker_id]
+
+
+@dataclass
+class PrequalState:
+    """Everything the PREQUAL mode hangs off an :class:`LBServer`."""
+
+    config: PrequalConfig
+    pool: ProbePool
+    selector: PrequalSelector
+    prober: object
+    program: PrequalDispatchProgram
+
+    def stats(self) -> dict:
+        """One flat dict for run summaries and invariant checks."""
+        out = dict(self.pool.stats())
+        out.update(
+            decisions=self.selector.decisions,
+            cold_picks=self.selector.cold_picks,
+            hot_picks=self.selector.hot_picks,
+            empty_pool=self.selector.empty_pool,
+            selections=self.program.selections,
+            fallbacks=self.program.fallbacks,
+            probes_sent=self.prober.report.sent,
+            probes_completed=self.prober.report.completed,
+            probes_throttled=self.prober.throttled,
+        )
+        return out

@@ -1,0 +1,108 @@
+"""The probe pool: asynchronously harvested (RIF, latency) replies.
+
+Every probe reply that completes lands here as a :class:`ProbeSample`;
+the selector consumes samples per the reuse budget and the pool evicts
+by age and capacity.  The pool keeps a strict ledger — every sample that
+ever entered is either consumed, evicted, or still pooled::
+
+    issued == consumed + evicted + len(entries)
+
+which is exactly the conservation invariant ``repro.check`` re-derives on
+live runs (:meth:`ProbePool.conserved`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ProbeSample", "ProbePool"]
+
+
+@dataclass
+class ProbeSample:
+    """One harvested probe reply."""
+
+    worker_id: int
+    #: Requests in flight on the worker when the probe reply was formed.
+    rif: int
+    #: Estimated latency: the probe's own measured sojourn time.
+    latency: float
+    #: Sim time the reply entered the pool.
+    t: float
+    #: Selections this sample may still serve (counts down to removal).
+    uses_left: int = 1
+
+
+class ProbePool:
+    """Bounded, age-limited pool of probe replies for one LB device."""
+
+    def __init__(self, capacity: int, max_age: float,
+                 reuse_budget: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if reuse_budget < 1:
+            raise ValueError("reuse_budget must be >= 1")
+        self.capacity = capacity
+        self.max_age = max_age
+        self.reuse_budget = reuse_budget
+        #: Pooled samples in arrival order (oldest first).
+        self.entries: List[ProbeSample] = []
+        # -- the conservation ledger ---------------------------------------
+        #: Samples that ever entered the pool.
+        self.issued = 0
+        #: Samples removed because their reuse budget ran out.
+        self.consumed = 0
+        #: Samples removed by age or capacity displacement.
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, worker_id: int, rif: int, latency: float,
+            now: float) -> ProbeSample:
+        """Pool a fresh reply, displacing the oldest entry at capacity."""
+        sample = ProbeSample(worker_id=worker_id, rif=rif, latency=latency,
+                             t=now, uses_left=self.reuse_budget)
+        self.entries.append(sample)
+        self.issued += 1
+        if len(self.entries) > self.capacity:
+            self.entries.pop(0)
+            self.evicted += 1
+        return sample
+
+    def evict_stale(self, now: float) -> int:
+        """Drop samples older than ``max_age``; returns how many."""
+        cutoff = now - self.max_age
+        keep = [s for s in self.entries if s.t >= cutoff]
+        dropped = len(self.entries) - len(keep)
+        if dropped:
+            self.entries = keep
+            self.evicted += dropped
+        return dropped
+
+    def use(self, sample: ProbeSample) -> None:
+        """Charge one selection against ``sample``'s reuse budget."""
+        sample.uses_left -= 1
+        if sample.uses_left <= 0:
+            self.entries.remove(sample)
+            self.consumed += 1
+
+    def conserved(self) -> bool:
+        """The ledger invariant: issued == consumed + evicted + in-pool."""
+        return self.issued == self.consumed + self.evicted + len(self.entries)
+
+    def snapshot(self) -> List[tuple]:
+        """``(worker_id, rif, latency, t)`` tuples — for oracles/tests."""
+        return [(s.worker_id, s.rif, s.latency, s.t) for s in self.entries]
+
+    def stats(self) -> dict:
+        return {"issued": self.issued, "consumed": self.consumed,
+                "evicted": self.evicted, "in_pool": len(self.entries)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ProbePool {len(self.entries)}/{self.capacity} "
+                f"issued={self.issued} consumed={self.consumed} "
+                f"evicted={self.evicted}>")

@@ -1,0 +1,120 @@
+"""Prequal probe transport: seeded, rate-limited RIF/latency probes.
+
+Rides the :class:`repro.lb.probes.Prober` machinery (persistent per-worker
+probe connections delivered through the normal worker event loop), so probe
+replies inherit every pathology the paper cares about: a hung worker delays
+its replies, a crashed worker loses them, and replies queue behind real
+work — which is exactly what makes the reply's own sojourn time a usable
+latency estimate.
+
+Each completed probe reply carries two signals into the
+:class:`~repro.prequal.pool.ProbePool`:
+
+- **RIF** — the worker's requests-in-flight at reply time (client events
+  delivered but not yet processed; probe traffic excluded);
+- **estimated latency** — the probe's own end-to-end sojourn on the sim
+  clock.
+
+Probing is *reactive* (a pool refresh per dispatch, per the Prequal
+paper's probe-per-query design) plus a slow background round to keep the
+pool warm on idle devices; both draw from one token bucket capped at
+``probe_rate``/``probe_burst`` so probe load cannot melt the backend.
+Target workers are drawn power-of-d style from a dedicated seeded stream,
+keeping the probe schedule byte-reproducible and independent of the
+traffic streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.tcp import Request
+from ..lb.probes import Prober
+from ..sim.engine import Interrupt
+from .config import PrequalConfig
+from .pool import ProbePool
+
+__all__ = ["PrequalProber"]
+
+
+class PrequalProber(Prober):
+    """Issues pool-feeding probes to ``d`` sampled workers at a time."""
+
+    def __init__(self, env, server, pool: ProbePool, config: PrequalConfig,
+                 rng, tracer=None):
+        super().__init__(env, server, interval=config.probe_interval)
+        self.pool = pool
+        self.config = config
+        #: Dedicated seeded stream (worker sampling only) — probe targeting
+        #: never perturbs the traffic streams.
+        self.rng = rng
+        self.tracer = tracer
+        #: Probes suppressed by the rate limiter.
+        self.throttled = 0
+        self._tokens = float(config.probe_burst)
+        self._last_refill = env.now
+
+    # -- rate limiting -----------------------------------------------------
+    def _take_token(self) -> bool:
+        now = self.env.now
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(float(self.config.probe_burst),
+                               self._tokens + elapsed * self.config.probe_rate)
+            self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    # -- probe issue -------------------------------------------------------
+    def probe_round(self) -> int:
+        """Probe ``d`` distinct sampled workers; returns probes issued."""
+        n = self.server.n_workers
+        targets = self.rng.sample(range(n), min(self.config.d, n))
+        issued = 0
+        for worker_id in targets:
+            if not self._take_token():
+                self.throttled += len(targets) - issued
+                break
+            self._send_probe(worker_id)
+            issued += 1
+        return issued
+
+    def on_dispatch(self) -> None:
+        """Reactive replenishment: one refresh round per routing decision."""
+        self._harvest()
+        self.probe_round()
+
+    def _run(self):
+        # Background refresh: unlike the base prober this samples d workers
+        # per round instead of sweeping all of them.
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                self._harvest()
+                self.probe_round()
+        except Interrupt:
+            self._harvest()
+            return
+
+    # -- reply harvesting --------------------------------------------------
+    def _build_probe(self, worker_id: int) -> Request:
+        probe = super()._build_probe(worker_id)
+        probe.handler = "prequal_probe"
+        probe.on_complete = lambda request: self._pool_reply(worker_id,
+                                                             request)
+        return probe
+
+    def _pool_reply(self, worker_id: int, request: Request) -> None:
+        """A probe reply completed on its worker: pool its signals."""
+        worker = self.server.workers[worker_id]
+        if not worker.is_alive:
+            return
+        rif = worker.requests_in_flight
+        latency = request.latency if request.latency is not None else 0.0
+        self.pool.add(worker_id, rif, latency, self.env.now)
+        if self.tracer is not None:
+            self.tracer.instant("prequal.sample", "prequal",
+                                worker=worker_id, rif=rif, latency=latency,
+                                pool=len(self.pool))

@@ -1,0 +1,106 @@
+"""Hot/cold-lane selection over the probe pool.
+
+The selection contract (shared with the naive oracle in
+:mod:`repro.check.oracles`, which re-derives every decision on ``--check``
+runs):
+
+1. Evict stale samples (older than ``max_age``), then read the pool.
+   An empty pool returns ``None`` — the dispatch program declines and the
+   kernel falls back to reuseport hashing.
+2. Compute the hot threshold: the ``q_hot`` quantile of pooled RIFs,
+   taken as ``sorted_rifs[min(n - 1, floor(q_hot * n))]``.  A sample is
+   *hot* when ``rif > threshold`` (strictly above the quantile — at a
+   uniform pool nothing is hot and HCL degrades to pure latency picking,
+   which is the paper's intended low-load behaviour), *cold* otherwise.
+3. Pick the cold sample with the lowest estimated latency (ties: lower
+   RIF, then lower worker id).  If every sample is hot, fall back to the
+   lowest-RIF hot sample (ties: lower latency, then lower worker id).
+4. Charge the winning sample's reuse budget.
+
+The single-signal ablation policies skip step 2: ``"latency"`` picks the
+global latency minimum, ``"rif"`` the global RIF minimum, with the same
+tie-break chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .config import PrequalConfig
+from .pool import ProbePool, ProbeSample
+
+__all__ = ["PrequalDecision", "PrequalSelector"]
+
+
+@dataclass(frozen=True)
+class PrequalDecision:
+    """One routing decision derived from the pool."""
+
+    worker_id: int
+    #: ``"cold"`` or ``"hot"`` (ablation policies report their own name).
+    lane: str
+    rif: int
+    latency: float
+    #: Pool depth at decision time (after stale eviction, before use).
+    pool_depth: int
+
+
+class PrequalSelector:
+    """Turns the probe pool into routing decisions."""
+
+    def __init__(self, pool: ProbePool, config: PrequalConfig):
+        self.pool = pool
+        self.config = config
+        # -- statistics -----------------------------------------------------
+        self.decisions = 0
+        self.cold_picks = 0
+        self.hot_picks = 0
+        self.empty_pool = 0
+
+    def select(self, now: float) -> Optional[PrequalDecision]:
+        """One decision per incoming SYN; ``None`` when the pool is dry."""
+        self.pool.evict_stale(now)
+        entries = self.pool.entries
+        if not entries:
+            self.empty_pool += 1
+            return None
+        depth = len(entries)
+        policy = self.config.policy
+        if policy == "latency":
+            best, lane = self._min_latency(entries), "latency"
+        elif policy == "rif":
+            best, lane = self._min_rif(entries), "rif"
+        else:
+            best, lane = self._hcl(entries)
+        self.pool.use(best)
+        self.decisions += 1
+        if lane == "hot":
+            self.hot_picks += 1
+        else:
+            self.cold_picks += 1
+        return PrequalDecision(
+            worker_id=best.worker_id, lane=lane, rif=best.rif,
+            latency=best.latency, pool_depth=depth)
+
+    # -- policies ----------------------------------------------------------
+    def _hcl(self, entries):
+        threshold = self.hot_threshold(entries)
+        cold = [s for s in entries if s.rif <= threshold]
+        if cold:
+            return self._min_latency(cold), "cold"
+        return self._min_rif(entries), "hot"
+
+    def hot_threshold(self, entries) -> int:
+        """The ``q_hot`` RIF quantile of the given samples."""
+        rifs = sorted(s.rif for s in entries)
+        index = min(len(rifs) - 1, int(self.config.q_hot * len(rifs)))
+        return rifs[index]
+
+    @staticmethod
+    def _min_latency(entries) -> ProbeSample:
+        return min(entries, key=lambda s: (s.latency, s.rif, s.worker_id))
+
+    @staticmethod
+    def _min_rif(entries) -> ProbeSample:
+        return min(entries, key=lambda s: (s.rif, s.latency, s.worker_id))

@@ -180,3 +180,43 @@ class TestRunCheck:
             _dispatch.popcount64(0b111)
         assert _dispatch.popcount64 is before
         assert stats.comparisons.get("popcount64") == 1
+
+
+class TestProbePoolInvariant:
+    """The prequal conservation ledger under the invariant monitor."""
+
+    def test_prequal_run_stays_green(self):
+        from repro.experiments.common import run_case_cell
+        from repro.lb.server import NotificationMode
+
+        monitors = []
+        result = run_case_cell(
+            NotificationMode("prequal"), "case1", "light", n_workers=4,
+            duration=1.0, seed=7,
+            env_hook=lambda env, server, gen: monitors.append(watch(server)))
+        passes = monitors[0].finalize()
+        assert result.completed > 0
+        assert passes["probe_pool"] > 0
+
+    def test_non_prequal_device_passes_vacuously(self):
+        _result, passes = run_monitored_cell(n_workers=4, duration=1.0)
+        assert passes["probe_pool"] > 0
+
+    def test_corrupted_ledger_is_caught(self):
+        from repro.experiments.common import run_case_cell
+        from repro.lb.server import NotificationMode
+
+        def corrupt(env, server, gen):
+            watch(server)
+            pool = server.prequal.pool
+
+            def tamper():
+                pool.issued += 7  # break issued == consumed+evicted+pooled
+
+            env.schedule_callback(0.5, tamper)
+
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_case_cell(NotificationMode("prequal"), "case1", "light",
+                          n_workers=4, duration=1.0, seed=7,
+                          env_hook=corrupt)
+        assert excinfo.value.name == "probe_pool"

@@ -147,3 +147,53 @@ class TestCheckedWrapper:
         wrapper = checked(find_nth_set_bit, ref_find_nth_set_bit, "nth")
         with pytest.raises(ValueError):
             wrapper(0b1, 5)
+
+
+class TestPrequalReference:
+    """ref_prequal_select: the naive pool re-scan the live oracle trusts."""
+
+    def test_empty_and_all_stale_return_none(self):
+        from repro.check.oracles import ref_prequal_select
+        assert ref_prequal_select([], 1.0, 0.4, 0.84, "hcl") is None
+        stale = [(0, 1, 0.001, 0.0)]
+        assert ref_prequal_select(stale, 1.0, 0.4, 0.84, "hcl") is None
+
+    def test_hot_sample_excluded_by_hcl_only(self):
+        from repro.check.oracles import ref_prequal_select
+        entries = [(w, 2, 0.002, 0.0) for w in range(12)]
+        entries.append((12, 40, 0.0005, 0.0))  # low latency, spiked RIF
+        assert ref_prequal_select(entries, 0.1, 0.4, 0.84, "hcl")[0] != 12
+        assert ref_prequal_select(entries, 0.1, 0.4, 0.84, "latency")[0] == 12
+
+    def test_rif_policy_prefers_low_rif(self):
+        from repro.check.oracles import ref_prequal_select
+        entries = [(0, 5, 0.0001, 0.0), (1, 1, 0.5, 0.0)]
+        assert ref_prequal_select(entries, 0.1, 0.4, 0.84, "rif")[0] == 1
+
+    def test_unknown_policy_rejected(self):
+        from repro.check.oracles import ref_prequal_select
+        with pytest.raises(ValueError):
+            ref_prequal_select([(0, 1, 0.001, 0.0)], 0.1, 0.4, 0.84, "p2c")
+
+
+class TestPrequalLiveOracle:
+    def test_live_run_compares_every_selection(self):
+        from repro.check import live_oracles
+        from repro.experiments.common import run_case_cell
+        from repro.lb.server import NotificationMode
+
+        with live_oracles() as stats:
+            result = run_case_cell(NotificationMode("prequal"), "case1",
+                                   "light", n_workers=4, duration=0.5,
+                                   seed=7)
+        assert result.completed > 0
+        assert stats.comparisons["prequal_select"] > 0
+
+    def test_live_oracle_restores_selector(self):
+        from repro.check import live_oracles
+        from repro.prequal import PrequalSelector
+
+        before = PrequalSelector.select
+        with live_oracles():
+            assert PrequalSelector.select is not before
+        assert PrequalSelector.select is before

@@ -99,7 +99,9 @@ class TestCellShape:
             assert not plan.empty
         assert set(SCENARIOS) == {"worker_hang", "worker_crash",
                                   "slow_worker", "nic_loss"}
-        assert len(RESILIENCE_MODES) == 3
+        assert RESILIENCE_MODES == (
+            NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
+            NotificationMode.HERMES, NotificationMode.PREQUAL)
 
 
 class TestPaperDirection:

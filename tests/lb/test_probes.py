@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.kernel.tcp import ConnState
 from repro.lb import LBServer, NotificationMode, Prober
 from repro.sim import Environment
 
@@ -69,6 +71,33 @@ class TestCrashedWorker:
         env.run(until=2.0)
         prober._harvest()
         assert prober.report.lost + prober.report.delayed >= 5
+
+    def test_crash_restart_repins_probe_stream(self):
+        """§7 crash plan: the probe stream dies with the worker at
+        detection time and must re-pin to the restarted process —
+        regression for the prober silently probing a dead connection
+        forever after a crash+restart cycle."""
+        env, server = make(n_workers=2)
+        prober = Prober(env, server, interval=0.05, threshold=0.2)
+        prober.start()
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_CRASH, at=0.5, target=0,
+                      detect_delay=0.1, restart_after=0.4),
+        ), seed=102)
+        FaultInjector(env, server, plan).arm()
+        env.run(until=0.95)  # crashed at 0.5, cleaned at 0.6, restarted 0.9
+        prober._harvest()
+        completed_at_restart = prober.report.completed
+        env.run(until=2.0)
+        prober._harvest()
+        assert prober.report.repinned >= 1
+        # The fresh probe stream is live and owned by the restarted worker.
+        conn = prober._conns[0]
+        assert conn.state is ConnState.ACCEPTED
+        assert conn.fd in server.workers[0].conns
+        # Probes complete again on both workers after the restart: ~21
+        # rounds of 2 probes remain, so well over 10 even with slack.
+        assert prober.report.completed > completed_at_restart + 10
 
     def test_stop(self):
         env, server = make()

@@ -1,0 +1,86 @@
+"""PREQUAL as a device mode: wiring, traces, stats, determinism."""
+
+from repro.lb import LBServer, NotificationMode
+from repro.obs import Tracer
+from repro.prequal import PrequalConfig
+from repro.sim import Environment, RngRegistry
+from repro.workloads import FixedFactory, TrafficGenerator, WorkloadSpec
+
+
+def run_device(seed=7, config=None, n_workers=4, duration=1.0,
+               conn_rate=400.0, trace=False):
+    env = Environment()
+    registry = RngRegistry(seed)
+    tracer = Tracer(env) if trace else None
+    server = LBServer(env, n_workers=n_workers, ports=[443],
+                      mode=NotificationMode.PREQUAL,
+                      hash_seed=registry.stream("hash").randrange(2 ** 32),
+                      prequal_config=config, tracer=tracer)
+    server.start()
+    spec = WorkloadSpec(name="prequal_mode", conn_rate=conn_rate,
+                        duration=duration, factory=FixedFactory((300e-6,)),
+                        ports=(443,), requests_per_conn=3,
+                        request_gap_mean=0.01)
+    TrafficGenerator(env, server, registry.stream("traffic"), spec).start()
+    env.run(until=duration + 0.5)
+    return server, tracer
+
+
+class TestWiring:
+    def test_mode_builds_and_serves(self):
+        server, _ = run_device()
+        summary = server.metrics.summary()
+        assert summary["completed"] > 500
+        assert summary["failed"] == 0
+        stats = server.prequal.stats()
+        assert stats["probes_completed"] > 0
+        assert stats["selections"] > 0
+        # Selection, not the hash fallback, carried the run.
+        assert stats["selections"] > stats["fallbacks"]
+
+    def test_pool_ledger_conserved_end_to_end(self):
+        server, _ = run_device()
+        assert server.prequal.pool.conserved()
+
+    def test_custom_config_reaches_the_pool(self):
+        config = PrequalConfig(pool_size=4, reuse_budget=2)
+        server, _ = run_device(config=config)
+        assert server.prequal.pool.capacity == 4
+        assert server.prequal.pool.reuse_budget == 2
+
+    def test_starved_prober_falls_back_to_hashing(self):
+        config = PrequalConfig(probe_rate=5.0, probe_burst=1)
+        server, _ = run_device(config=config)
+        stats = server.prequal.stats()
+        assert stats["fallbacks"] > 0
+        assert stats["probes_throttled"] > 0
+        # The device still serves everything via the hash fallback.
+        assert server.metrics.summary()["failed"] == 0
+
+
+class TestTraces:
+    def test_selection_and_sample_events_recorded(self):
+        server, tracer = run_device(trace=True)
+        names = {event.name for event in tracer.events}
+        assert "prequal.sample" in names
+        assert "prequal.select" in names
+        selects = [e for e in tracer.events if e.name == "prequal.select"]
+        assert selects and all(
+            e.fields["lane"] in ("cold", "hot", "latency", "rif")
+            for e in selects)
+        assert len(selects) == server.prequal.selector.decisions
+
+
+class TestDeterminism:
+    def test_run_twice_is_identical(self):
+        def once():
+            server, _ = run_device(seed=13)
+            return (server.metrics.summary(), server.prequal.stats(),
+                    tuple(len(w.conns) for w in server.workers))
+
+        assert once() == once()
+
+    def test_seeds_differ(self):
+        first, _ = run_device(seed=13)
+        second, _ = run_device(seed=14)
+        assert first.prequal.stats() != second.prequal.stats()

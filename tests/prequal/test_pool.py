@@ -1,0 +1,106 @@
+"""ProbePool: ledger conservation, capacity, staleness, reuse budgets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prequal import ProbePool
+
+
+class TestLedger:
+    def test_add_and_use_balance(self):
+        pool = ProbePool(capacity=4, max_age=1.0)
+        sample = pool.add(0, rif=2, latency=0.001, now=0.0)
+        assert pool.issued == 1 and len(pool) == 1
+        pool.use(sample)
+        assert pool.consumed == 1 and len(pool) == 0
+        assert pool.conserved()
+
+    def test_capacity_displaces_oldest(self):
+        pool = ProbePool(capacity=2, max_age=10.0)
+        first = pool.add(0, 1, 0.001, now=0.0)
+        pool.add(1, 1, 0.001, now=0.1)
+        pool.add(2, 1, 0.001, now=0.2)
+        assert len(pool) == 2
+        assert first not in pool.entries
+        assert pool.evicted == 1
+        assert pool.conserved()
+
+    def test_stale_eviction(self):
+        pool = ProbePool(capacity=8, max_age=0.5)
+        pool.add(0, 1, 0.001, now=0.0)
+        pool.add(1, 1, 0.001, now=0.4)
+        assert pool.evict_stale(0.7) == 1
+        assert [s.worker_id for s in pool.entries] == [1]
+        # Exactly at the cutoff is still fresh (t >= now - max_age).
+        assert pool.evict_stale(0.9) == 0
+        assert pool.conserved()
+
+    def test_reuse_budget_counts_down(self):
+        pool = ProbePool(capacity=4, max_age=1.0, reuse_budget=3)
+        sample = pool.add(0, 1, 0.001, now=0.0)
+        pool.use(sample)
+        pool.use(sample)
+        assert len(pool) == 1 and pool.consumed == 0
+        pool.use(sample)
+        assert len(pool) == 0 and pool.consumed == 1
+        assert pool.conserved()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProbePool(capacity=0, max_age=1.0)
+        with pytest.raises(ValueError):
+            ProbePool(capacity=4, max_age=0.0)
+        with pytest.raises(ValueError):
+            ProbePool(capacity=4, max_age=1.0, reuse_budget=0)
+
+
+# One pool operation: add a sample, advance-and-evict, or use the k-th
+# oldest pooled entry (skipped when the pool is shallower).
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 7),
+                  st.integers(0, 30), st.floats(0.0, 0.1)),
+        st.tuples(st.just("evict"), st.floats(0.0, 0.5)),
+        st.tuples(st.just("use"), st.integers(0, 15))),
+    max_size=80)
+
+
+class TestConservationProperty:
+    @given(ops=_OPS, capacity=st.integers(1, 8), budget=st.integers(1, 3))
+    def test_ledger_holds_under_any_op_sequence(self, ops, capacity, budget):
+        pool = ProbePool(capacity=capacity, max_age=0.3,
+                         reuse_budget=budget)
+        now = 0.0
+        for op in ops:
+            if op[0] == "add":
+                _, worker, rif, latency = op
+                pool.add(worker, rif, latency, now)
+            elif op[0] == "evict":
+                now += op[1]
+                pool.evict_stale(now)
+            elif op[1] < len(pool.entries):
+                pool.use(pool.entries[op[1]])
+            assert pool.conserved()
+            assert len(pool) <= pool.capacity
+            # Arrival order is preserved (oldest first).
+            times = [s.t for s in pool.entries]
+            assert times == sorted(times)
+
+    @given(ops=_OPS)
+    def test_replay_is_identical(self, ops):
+        """The pool is a pure function of its op sequence."""
+        def replay():
+            pool = ProbePool(capacity=4, max_age=0.3, reuse_budget=2)
+            now = 0.0
+            for op in ops:
+                if op[0] == "add":
+                    pool.add(op[1], op[2], op[3], now)
+                elif op[0] == "evict":
+                    now += op[1]
+                    pool.evict_stale(now)
+                elif op[1] < len(pool.entries):
+                    pool.use(pool.entries[op[1]])
+            return pool.snapshot(), pool.stats()
+
+        assert replay() == replay()

@@ -1,0 +1,118 @@
+"""PrequalSelector: lane rule, tie-breaks, edge cases, oracle agreement."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.check.oracles import ref_prequal_select
+from repro.prequal import PrequalConfig, PrequalSelector, ProbePool
+
+
+def make(policy="hcl", q_hot=0.84, max_age=0.4, reuse_budget=1,
+         capacity=16):
+    pool = ProbePool(capacity=capacity, max_age=max_age,
+                     reuse_budget=reuse_budget)
+    config = PrequalConfig(policy=policy, q_hot=q_hot, max_age=max_age,
+                           reuse_budget=reuse_budget, pool_size=capacity)
+    return pool, PrequalSelector(pool, config)
+
+
+class TestEdgeCases:
+    def test_empty_pool_returns_none(self):
+        _, selector = make()
+        assert selector.select(1.0) is None
+        assert selector.empty_pool == 1
+
+    def test_all_stale_returns_none(self):
+        pool, selector = make(max_age=0.4)
+        pool.add(0, 1, 0.001, now=0.0)
+        assert selector.select(1.0) is None
+        assert pool.evicted == 1 and len(pool) == 0
+
+    def test_select_consumes_per_reuse_budget(self):
+        pool, selector = make(reuse_budget=2)
+        pool.add(0, 1, 0.001, now=0.0)
+        assert selector.select(0.1).worker_id == 0
+        assert len(pool) == 1  # one use left
+        assert selector.select(0.1).worker_id == 0
+        assert len(pool) == 0 and pool.consumed == 1
+
+
+class TestLaneRule:
+    def test_hot_worker_excluded_despite_low_latency(self):
+        """The load spike signature: a worker whose probe shows low
+        latency (sampled before the queue built) but high RIF (read
+        after) must lose to a calmer worker."""
+        pool, selector = make(q_hot=0.84)
+        for worker in range(12):
+            pool.add(worker, rif=2, latency=0.002, now=0.0)
+        pool.add(12, rif=40, latency=0.0005, now=0.0)  # spiked worker
+        decision = selector.select(0.1)
+        assert decision.worker_id != 12
+        assert decision.lane == "cold"
+        assert decision.pool_depth == 13
+
+    def test_uniform_pool_degrades_to_latency_picking(self):
+        """Nothing is strictly above the quantile at a uniform pool, so
+        HCL picks the global latency minimum (the paper's low-load
+        behaviour)."""
+        pool, selector = make()
+        pool.add(0, rif=3, latency=0.004, now=0.0)
+        pool.add(1, rif=3, latency=0.001, now=0.0)
+        pool.add(2, rif=3, latency=0.002, now=0.0)
+        decision = selector.select(0.1)
+        assert decision.worker_id == 1
+        assert decision.lane == "cold"
+
+    def test_latency_tie_breaks_by_rif_then_worker(self):
+        pool, selector = make()
+        pool.add(3, rif=2, latency=0.001, now=0.0)
+        pool.add(1, rif=1, latency=0.001, now=0.0)
+        pool.add(2, rif=1, latency=0.001, now=0.0)
+        assert selector.select(0.1).worker_id == 1
+
+    def test_policy_latency_ignores_rif(self):
+        pool, selector = make(policy="latency")
+        pool.add(0, rif=50, latency=0.0001, now=0.0)
+        pool.add(1, rif=0, latency=0.002, now=0.0)
+        decision = selector.select(0.1)
+        assert decision.worker_id == 0
+        assert decision.lane == "latency"
+
+    def test_policy_rif_ignores_latency(self):
+        pool, selector = make(policy="rif")
+        pool.add(0, rif=5, latency=0.0001, now=0.0)
+        pool.add(1, rif=1, latency=0.5, now=0.0)
+        decision = selector.select(0.1)
+        assert decision.worker_id == 1
+        assert decision.lane == "rif"
+
+
+_SAMPLES = st.lists(
+    st.tuples(st.integers(0, 7),                      # worker_id
+              st.integers(0, 40),                     # rif
+              st.floats(0.0, 0.05),                   # latency
+              st.floats(0.0, 1.0)),                   # t
+    max_size=24)
+
+
+class TestOracleAgreement:
+    """Every fast-path decision must match the naive re-scan oracle
+    (what ``repro check`` and ``--check`` runs compare live)."""
+
+    @given(samples=_SAMPLES,
+           now=st.floats(0.0, 1.5),
+           q_hot=st.floats(0.05, 1.0),
+           policy=st.sampled_from(("hcl", "latency", "rif")))
+    def test_select_matches_reference(self, samples, now, q_hot, policy):
+        pool, selector = make(policy=policy, q_hot=q_hot, capacity=32)
+        for worker, rif, latency, t in samples:
+            pool.add(worker, rif, latency, now=t)
+        snapshot = pool.snapshot()
+        decision = selector.select(now)
+        expected = ref_prequal_select(snapshot, now, max_age=0.4,
+                                      q_hot=q_hot, policy=policy)
+        if decision is None:
+            assert expected is None
+        else:
+            assert (decision.worker_id, decision.rif,
+                    decision.latency) == expected

@@ -1,0 +1,47 @@
+"""The three-architecture showdown (the acceptance scenario).
+
+At the registered resilience operating point, PREQUAL's probe-based
+steering beats EXCLUSIVE's load-oblivious wakeup on tail latency, while
+HERMES — steering from exact load state, not probes — keeps the smaller
+blast radius and the faster, cleaner recovery.  All relations are on
+deterministic seeded cells, so they are exact, not statistical.
+"""
+
+from repro.faults import run_resilience_cell
+from repro.lb import NotificationMode
+
+
+def cells(scenario, seed=7):
+    return {
+        mode.value: run_resilience_cell(scenario, mode, seed=seed)
+        for mode in (NotificationMode.EXCLUSIVE, NotificationMode.HERMES,
+                     NotificationMode.PREQUAL)
+    }
+
+
+class TestWorkerCrash:
+    def test_prequal_beats_exclusive_on_p99(self):
+        matrix = cells("worker_crash")
+        assert matrix["prequal"].p99_ms < matrix["exclusive"].p99_ms
+
+    def test_hermes_keeps_blast_and_recovery_wins(self):
+        matrix = cells("worker_crash")
+        assert matrix["hermes"].blast_radius < matrix["prequal"].blast_radius
+        assert matrix["prequal"].blast_radius \
+            < matrix["exclusive"].blast_radius
+        assert matrix["hermes"].failed < matrix["prequal"].failed
+        assert matrix["prequal"].failed < matrix["exclusive"].failed
+
+
+class TestSlowWorker:
+    def test_probing_routes_around_the_slow_worker(self):
+        matrix = cells("slow_worker")
+        # EXCLUSIVE keeps feeding the throttled LIFO winner; both
+        # load-aware architectures dodge it by orders of magnitude.
+        assert matrix["prequal"].p99_ms < matrix["exclusive"].p99_ms / 5
+        assert matrix["prequal"].hung_requests \
+            < matrix["exclusive"].hung_requests
+        # Hermes' exact load state still beats probe estimates.
+        assert matrix["hermes"].p99_ms < matrix["prequal"].p99_ms
+        assert matrix["hermes"].blast_radius \
+            <= matrix["prequal"].blast_radius
