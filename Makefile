@@ -1,7 +1,7 @@
 # Convenience targets for the Hermes reproduction.
 
 .PHONY: install test bench perf perf-check sweep-check check prequal \
-    examples experiments clean
+    fleet examples experiments clean
 
 install:
 	pip install -e .
@@ -66,6 +66,25 @@ prequal:
 	    --mode exclusive --mode hermes --mode prequal --seed 7 \
 	    --out showdown.json
 
+# The fleet gate (what the CI fleet job runs): stateless 8-instance churn
+# under the PCC monitor, the stateful-vs-stateless crash head-to-head,
+# and fleet_scale sweep byte-equality serial vs parallel.
+fleet:
+	PYTHONPATH=src python -m repro fleet --instances 8 \
+	    --policy stateless --check
+	PYTHONPATH=src python -m repro fleet --policy stateful --crash-at 0.9 \
+	    --out fleet.stateful.json
+	PYTHONPATH=src python -m repro fleet --policy stateless --crash-at 0.9 \
+	    --check --out fleet.stateless.json
+	PYTHONPATH=src python -m repro sweep fleet_scale --seed 31 --jobs 1 \
+	    --no-cache --set 'instances=[2,4]' --set duration=1.0 \
+	    --out fleet.serial.json
+	PYTHONPATH=src python -m repro sweep fleet_scale --seed 31 --jobs 4 \
+	    --no-cache --set 'instances=[2,4]' --set duration=1.0 \
+	    --out fleet.parallel.json
+	cmp fleet.serial.json fleet.parallel.json
+	@echo "fleet_scale sweep is byte-identical to serial"
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
 
@@ -75,5 +94,5 @@ experiments:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
 	    benchmarks/results .benchmarks .sweep-cache sweep.*.json \
-	    prequal.*.json showdown.json
+	    prequal.*.json fleet.*.json showdown.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -16,6 +16,7 @@ this package.
 
 from .invariants import InvariantMonitor, InvariantViolation, watch
 from .lint import Finding, lint_paths, lint_source
+from .pcc import PccMonitor, watch_fleet
 from .oracles import (
     OracleMismatch,
     OracleStats,
@@ -34,6 +35,8 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "watch",
+    "PccMonitor",
+    "watch_fleet",
     "Finding",
     "lint_paths",
     "lint_source",

@@ -35,7 +35,7 @@ from .oracles import (
 )
 
 __all__ = ["CheckReport", "run_check", "run_monitored_crash",
-           "oracle_sweep"]
+           "run_monitored_fleet", "oracle_sweep"]
 
 
 @dataclass
@@ -209,6 +209,87 @@ def run_monitored_crash(mode: str = "hermes", n_workers: int = 8,
     return monitor, passes, summary
 
 
+def run_monitored_fleet(policy: str = "stateless", n_instances: int = 4,
+                        n_workers: int = 2, seed: int = 31,
+                        duration: float = 1.5, conn_rate: float = 150.0,
+                        churn_at: float = 0.6, churn_k: int = 2,
+                        crash_at: Optional[float] = None,
+                        detect_delay: float = 0.005,
+                        corrupt_lookup: bool = False,
+                        interval: Optional[float] = None,
+                        raise_on_violation: bool = True):
+    """A fleet churn (+ optional instance crash) scenario under the PCC
+    monitor and per-instance invariant monitors.
+
+    ``corrupt_lookup=True`` arms the PCC corruption drill: every backend-
+    map update additionally tampers with the *version-0* table, so live
+    connections stamped under it re-resolve to a different backend — the
+    exact silent-state-corruption failure Concury's versioning guards
+    against, and the :class:`~repro.check.PccMonitor` must catch it.
+
+    Returns ``(pcc_monitor, passes, summary)`` where ``passes`` merges
+    the PCC counters with every instance monitor's.
+    """
+    from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+    from ..fleet import build_fleet
+    from ..obs import FlightRecorder, Tracer
+    from ..sim.engine import Environment
+    from ..sim.rng import RngRegistry
+    from ..workloads.distributions import FixedFactory
+    from ..workloads.generator import TrafficGenerator, WorkloadSpec
+    from .pcc import watch_fleet
+
+    env = Environment()
+    registry = RngRegistry(seed)
+    recorder = FlightRecorder(capacity=256)
+    tracer = Tracer(env, recorder=recorder, keep_events=False)
+    fleet = build_fleet(env, n_instances, n_workers, ports=[443],
+                        mode="hermes", policy=policy,
+                        hash_seed=registry.stream("hash").randrange(2 ** 32),
+                        tracer=tracer)
+    fleet.start()
+    pcc = watch_fleet(fleet, interval=interval,
+                      raise_on_violation=raise_on_violation)
+    monitors = [watch(instance) for instance in fleet.instances]
+    if corrupt_lookup:
+        backend_map = fleet.backend_map
+        real_update = backend_map.update
+
+        def corrupted_update(backends):
+            version = real_update(backends)
+            backend_map._tables[0] = [b + 1000
+                                      for b in backend_map._tables[0]]
+            return version
+
+        backend_map.update = corrupted_update
+
+    spec = WorkloadSpec(name="fleet", conn_rate=conn_rate,
+                        duration=max(0.1, duration - 0.3),
+                        factory=FixedFactory((200e-6,)), ports=(443,),
+                        requests_per_conn=20, request_gap_mean=0.05)
+    gen = TrafficGenerator(env, fleet, registry.stream("traffic"), spec)
+    faults = [FaultSpec(kind=FaultKind.BACKEND_CHURN, at=churn_at,
+                        magnitude=churn_k)]
+    if crash_at is not None:
+        faults.append(FaultSpec(kind=FaultKind.INSTANCE_CRASH, at=crash_at,
+                                target="busiest",
+                                detect_delay=detect_delay))
+    plan = FaultPlan(faults=tuple(faults), seed=seed)
+    injector = FaultInjector(env, None, plan, tracer=tracer,
+                             fleet=fleet).arm()
+    gen.start()
+    env.run(until=duration)
+    passes = pcc.finalize()
+    for monitor in monitors:
+        for name, count in monitor.finalize().items():
+            passes[name] = passes.get(name, 0) + count
+    summary = fleet.summary()
+    summary["seed"] = seed
+    summary["faults_fired"] = injector.faults_fired
+    summary["pcc_violations"] = len(pcc.violations)
+    return pcc, passes, summary
+
+
 # ---------------------------------------------------------------------------
 # The full gate.
 # ---------------------------------------------------------------------------
@@ -247,6 +328,7 @@ def run_check(lint: bool = True, oracles: bool = True,
             ("sec7/exclusive",
              lambda: _scenario_crash(report, "exclusive")),
             ("sec7/hermes", lambda: _scenario_crash(report, "hermes")),
+            ("fleet/stateless", lambda: _scenario_fleet(report)),
         ):
             try:
                 with live_oracles() as stats:
@@ -274,3 +356,14 @@ def _scenario_crash(report: CheckReport, mode: str) -> None:
     _monitor, passes, summary = run_monitored_crash(mode=mode)
     report.merge_passes(passes)
     report.scenarios[f"sec7/{mode}"] = summary
+
+
+def _scenario_fleet(report: CheckReport) -> None:
+    _monitor, passes, summary = run_monitored_fleet()
+    report.merge_passes(passes)
+    report.scenarios["fleet/stateless"] = {
+        "completed": summary["completed"],
+        "broken": summary["broken"],
+        "migrated": summary["migrated"],
+        "p99_ms": summary["p99_ms"],
+    }

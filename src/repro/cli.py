@@ -12,6 +12,8 @@
     python -m repro list --json
     python -m repro list-experiments
     python -m repro chaos --plan plan.json --mode hermes
+    python -m repro fleet --instances 8 --policy stateless --check
+    python -m repro fleet --policy stateful --crash-at 0.9
     python -m repro resilience --seed 7 --out matrix.json
     python -m repro resilience --mode hermes --mode prequal
     python -m repro perf --quick --check BENCH_perf.json
@@ -29,7 +31,11 @@ processes (``--jobs``), memoized in a content-addressed cache, merged
 byte-identically to a serial run; ``list`` prints registry metadata
 (``--json`` for machines); ``chaos`` arms a declarative
 :class:`repro.faults.FaultPlan` against one device and prints the fault
-timeline next to the usual metrics; ``resilience`` runs the fault ×
+timeline next to the usual metrics; ``fleet`` runs a whole
+:mod:`repro.fleet` fleet (ECMP/ring ingress tier spraying flows over N
+LB instances) under backend churn and an optional instance crash, with
+``--check`` arming the per-connection-consistency (PCC) monitor on top
+of the usual invariants; ``resilience`` runs the fault ×
 notification-mode matrix (``--out`` writes canonical JSON, byte-identical
 for identical seeds — the determinism check CI relies on); ``perf`` runs
 the calibrated benchmark suite (:mod:`repro.perf`) and writes the canonical
@@ -245,6 +251,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm invariant monitors and live differential "
                             "oracles (byte-identical results, or an error)")
     _add_jobs(chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="run an LB fleet (ingress tier + N instances) under "
+                      "backend churn and optional instance crash")
+    fleet.add_argument("--instances", type=_positive_int, default=4,
+                       help="LB instances behind the ingress tier")
+    fleet.add_argument("--workers", type=_positive_int, default=2,
+                       help="workers per instance")
+    fleet.add_argument("--policy", default="stateless",
+                       choices=("stateful", "stateless"),
+                       help="connection lookup policy (repro.fleet.lookup)")
+    fleet.add_argument("--ingress", default="ecmp",
+                       choices=("ecmp", "ring", "ring_bounded"),
+                       help="ingress flow-spray policy")
+    fleet.add_argument("--mode", default="hermes",
+                       choices=[m.value for m in NotificationMode])
+    fleet.add_argument("--duration", type=float, default=1.5)
+    fleet.add_argument("--rate", type=float, default=150.0,
+                       help="steady connection rate (cps)")
+    fleet.add_argument("--seed", type=int, default=31)
+    fleet.add_argument("--churn-at", type=float, default=0.6,
+                       help="backend churn time in seconds "
+                            "(negative disables the churn)")
+    fleet.add_argument("--churn-k", type=_positive_int, default=2,
+                       help="backends replaced by the churn")
+    fleet.add_argument("--crash-at", type=float, default=None,
+                       help="crash the busiest instance at this time")
+    fleet.add_argument("--detect-delay", type=float, default=0.005,
+                       help="instance failure-detection window (s)")
+    fleet.add_argument("--out", metavar="PATH", default=None,
+                       help="also write the fleet summary as canonical JSON")
+    fleet.add_argument("--check", action="store_true",
+                       help="arm the PCC monitor, per-instance invariant "
+                            "monitors, and live differential oracles")
 
     resilience = sub.add_parser(
         "resilience", help="fault x mode resilience matrix")
@@ -613,6 +653,109 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from contextlib import nullcontext
+
+    from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+    from .fleet import build_fleet
+    from .obs import FlightRecorder, Tracer
+    from .sim.engine import Environment
+    from .sim.rng import RngRegistry
+    from .workloads.distributions import FixedFactory
+    from .workloads.generator import TrafficGenerator, WorkloadSpec
+
+    env = Environment()
+    registry = RngRegistry(args.seed)
+    recorder = FlightRecorder(capacity=256)
+    tracer = Tracer(env, recorder=recorder, keep_events=False)
+    fleet = build_fleet(
+        env, args.instances, args.workers, ports=[443],
+        mode=NotificationMode(args.mode), policy=args.policy,
+        ingress=args.ingress,
+        hash_seed=registry.stream("hash").randrange(2 ** 32), tracer=tracer)
+    fleet.start()
+
+    context: Any = nullcontext()
+    pcc = None
+    monitors: List[Any] = []
+    if args.check:
+        from .check import live_oracles, watch, watch_fleet
+        context = live_oracles()
+        pcc = watch_fleet(fleet)
+        monitors = [watch(instance) for instance in fleet.instances]
+
+    spec = WorkloadSpec(name="fleet", conn_rate=args.rate,
+                        duration=max(0.1, args.duration - 0.3),
+                        factory=FixedFactory((200e-6,)), ports=(443,),
+                        requests_per_conn=20, request_gap_mean=0.05)
+    gen = TrafficGenerator(env, fleet, registry.stream("traffic"), spec)
+    faults = []
+    if args.churn_at is not None and args.churn_at >= 0:
+        faults.append(FaultSpec(kind=FaultKind.BACKEND_CHURN,
+                                at=args.churn_at, magnitude=args.churn_k))
+    if args.crash_at is not None:
+        faults.append(FaultSpec(kind=FaultKind.INSTANCE_CRASH,
+                                at=args.crash_at, target="busiest",
+                                detect_delay=args.detect_delay))
+    plan = FaultPlan(faults=tuple(faults), seed=args.seed)
+    injector = FaultInjector(env, None, plan, tracer=tracer,
+                             fleet=fleet).arm()
+    gen.start()
+    try:
+        with context as stats:
+            env.run(until=args.duration)
+            if pcc is not None:
+                passes = pcc.finalize()
+                for monitor in monitors:
+                    for name, count in monitor.finalize().items():
+                        passes[name] = passes.get(name, 0) + count
+    except AssertionError as exc:
+        if not args.check:
+            raise
+        print(f"check FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"check: {sum(passes.values())} invariant evaluation(s), "
+              f"{stats.total if stats is not None else 0} live oracle "
+              f"comparison(s), {len(pcc.violations)} PCC violation(s)")
+
+    summary = fleet.summary()
+    if plan.faults:
+        fault_rows = [[f"{r['t']:.4f}", r["event"], r["kind"],
+                       r.get("instance", "-" if "churn" not in r
+                             else f"churn k={r['churn']}")]
+                      for r in injector.log]
+        print(render_table(["t (s)", "event", "fault", "target"], fault_rows,
+                           title=f"fault timeline ({len(plan.faults)} specs, "
+                                 f"seed {plan.seed})"))
+    print(render_table(
+        ["metric", "value"],
+        [["policy", summary["policy"]],
+         ["ingress", summary["ingress"]],
+         ["instances", args.instances],
+         ["requests completed", summary["completed"]],
+         ["failed", summary["failed"]],
+         ["broken (instance)", summary["broken_instance"]],
+         ["broken (backend)", summary["broken_backend"]],
+         ["migrated", summary["migrated"]],
+         ["backend map version", summary["backend_version"]],
+         ["avg latency (ms)", f"{summary['avg_ms']:.3f}"],
+         ["p99 latency (ms)", f"{summary['p99_ms']:.3f}"],
+         ["throughput (kRPS)", f"{summary['throughput_rps'] / 1e3:.2f}"]],
+        title=f"{args.mode} fleet of {args.instances} "
+              f"({args.policy} lookup, {args.ingress} ingress)"))
+    if args.out:
+        doc = dict(summary, seed=args.seed,
+                   faults_fired=injector.faults_fired)
+        if pcc is not None:
+            doc["pcc_violations"] = len(pcc.violations)
+        if not _write_json(args.out, json.dumps(doc, indent=2,
+                                                sort_keys=True)):
+            return 1
+        print(f"summary -> {args.out}")
+    return 0
+
+
 def _cmd_resilience(args) -> int:
     from .faults import SCENARIOS
     from .sweep import run_sweep
@@ -740,6 +883,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "list-experiments": _cmd_list_experiments,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
         "resilience": _cmd_resilience,
         "perf": _cmd_perf,
         "check": _cmd_check,

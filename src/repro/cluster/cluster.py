@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..kernel.hash import jhash_4tuple, reciprocal_scale
 from ..kernel.tcp import Connection, Request
 from ..lb.server import LBServer
 from ..sim.engine import Environment
@@ -20,12 +19,22 @@ __all__ = ["LBCluster"]
 
 
 class LBCluster:
-    """A set of LB devices fed by flow-hash spraying."""
+    """A set of LB devices fed by flow-hash spraying.
+
+    The spray itself is a pluggable ingress policy (``repro.fleet.ingress``);
+    the default :class:`~repro.fleet.EcmpIngress` reproduces the historical
+    inline flow-hash modulo bit-for-bit.
+    """
 
     def __init__(self, env: Environment, devices: List[LBServer],
-                 hash_seed: int = 0x5eed):
+                 hash_seed: int = 0x5eed, ingress=None):
         if not devices:
             raise ValueError("need at least one device")
+        if ingress is None:
+            # Lazy import: repro.fleet builds on repro.cluster.
+            from ..fleet.ingress import EcmpIngress
+            ingress = EcmpIngress(hash_seed)
+        self.ingress = ingress
         self.env = env
         self.hash_seed = hash_seed
         self.devices: List[LBServer] = list(devices)
@@ -71,8 +80,7 @@ class LBCluster:
         if not active:
             connection.reset("no active devices")
             return False
-        flow_hash = jhash_4tuple(connection.four_tuple, self.hash_seed)
-        device = active[reciprocal_scale(flow_hash, len(active))]
+        device = self.ingress.pick(connection.four_tuple, active)
         accepted = device.connect(connection)
         if accepted:
             self._conn_device[connection.id] = device
@@ -90,8 +98,27 @@ class LBCluster:
         return self._conn_device.get(connection.id)
 
     # -- aggregate metrics --------------------------------------------------
-    def total_completed(self) -> int:
+    def _total_completed(self) -> int:
         return sum(d.metrics.requests_completed for d in self.devices)
 
-    def cluster_throughput(self) -> float:
+    def _cluster_throughput(self) -> float:
         return sum(d.metrics.throughput() for d in self.devices)
+
+
+def _install_deprecated_aggregates() -> None:
+    """Shim the legacy aggregate helpers through the standard pattern.
+
+    ``repro.fleet.aggregate_metrics`` pools latency samples across devices
+    (a sum of per-device throughputs hid the elapsed-time mismatch these
+    helpers had); direct calls keep working but warn.
+    """
+    from ..experiments.registry import deprecated
+    LBCluster.total_completed = deprecated(
+        LBCluster._total_completed,
+        "repro.fleet.aggregate_metrics(cluster.devices)['completed']")
+    LBCluster.cluster_throughput = deprecated(
+        LBCluster._cluster_throughput,
+        "repro.fleet.aggregate_metrics(cluster.devices)['throughput_rps']")
+
+
+_install_deprecated_aggregates()

@@ -1,0 +1,168 @@
+"""Fleet scale-out: stateful vs stateless connection lookup under churn.
+
+The grid runs a ``repro.fleet`` fleet at several sizes (instances ×
+policy), each cell driving steady traffic through the ECMP ingress tier
+while the fault plan rolls the backend set (``backend_churn``) and then
+kills the busiest LB instance (``instance_crash``).  Every cell runs
+under the :class:`~repro.check.PccMonitor` plus per-instance invariant
+monitors, so a per-connection-consistency violation fails the cell
+loudly instead of skewing its numbers.
+
+The qualitative result the experiment reproduces (Concury / the
+cluster-of-clusters scaling argument): with the **stateless** lookup,
+connections owned by a crashed instance fail over to survivors and keep
+their backend — broken connections stay bounded by the backend churn
+alone — while the **stateful** per-instance table dies with its
+instance, so every connection it owned breaks.  The verdict line ranks
+the two policies on p99 and broken-connection count at every fleet size.
+
+Cells are independent and fully determined by ``(key, params, seed)``,
+so the grid sweeps and memoizes like every other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from .registry import CellSpec, ExperimentSpec, concat_rendered, register
+
+__all__ = ["run_fleet_cell", "BASE_WORKLOAD", "FLEET_SIZES", "POLICIES"]
+
+#: Workload + fault schedule shared by every cell.  The crash lands after
+#: the churn so the stateless policy has to survive both: re-resolve
+#: version-stamped flows *and* migrate the dead instance's connections.
+BASE_WORKLOAD: Dict[str, Any] = {
+    "n_workers": 2,
+    "conn_rate": 150.0,
+    "duration": 1.5,
+    "churn_at": 0.6,
+    "churn_k": 2,
+    "crash_at": 0.9,
+    "detect_delay": 0.005,
+}
+
+#: Fleet sizes the grid scales across (the acceptance bar is >= 3).
+FLEET_SIZES: Tuple[int, ...] = (2, 4, 8)
+
+#: Lookup policies head-to-head at every size.
+POLICIES: Tuple[str, ...] = ("stateful", "stateless")
+
+
+def run_fleet_cell(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    """One cell: a fresh fleet under churn + crash, PCC-monitored."""
+    from ..check.runner import run_monitored_fleet
+
+    workload = dict(BASE_WORKLOAD)
+    workload.update({k: params[k] for k in BASE_WORKLOAD if k in params})
+    n_instances = params["n_instances"]
+    policy = params["policy"]
+
+    pcc, passes, summary = run_monitored_fleet(
+        policy=policy, n_instances=n_instances,
+        n_workers=workload["n_workers"], seed=seed,
+        duration=workload["duration"], conn_rate=workload["conn_rate"],
+        churn_at=workload["churn_at"], churn_k=workload["churn_k"],
+        crash_at=workload["crash_at"],
+        detect_delay=workload["detect_delay"])
+
+    rendered = (
+        f"{n_instances}x {policy:<9s} | p99={summary['p99_ms']:7.2f}ms "
+        f"avg={summary['avg_ms']:6.2f}ms done={summary['completed']:5d} "
+        f"failed={summary['failed']:3d} broken={summary['broken']:3d} "
+        f"(inst={summary['broken_instance']} "
+        f"backend={summary['broken_backend']}) "
+        f"migrated={summary['migrated']:3d} "
+        f"pcc={'OK' if not pcc.violations else 'VIOLATED'}")
+    return {
+        "instances": n_instances,
+        "policy": policy,
+        "p99_ms": round(summary["p99_ms"], 6),
+        "avg_ms": round(summary["avg_ms"], 6),
+        "completed": summary["completed"],
+        "failed": summary["failed"],
+        "broken": summary["broken"],
+        "broken_instance": summary["broken_instance"],
+        "broken_backend": summary["broken_backend"],
+        "migrated": summary["migrated"],
+        "pcc_violations": summary["pcc_violations"],
+        "checks_passed": passes,
+        "rendered": rendered,
+    }
+
+
+def _cells(seed: int, overrides: Dict[str, Any]) -> Tuple[CellSpec, ...]:
+    wanted = overrides.get("cells")
+    sizes = tuple(overrides.get("instances", FLEET_SIZES))
+    policies = tuple(overrides.get("policies", POLICIES))
+    workload_overrides = {k: overrides[k] for k in BASE_WORKLOAD
+                          if k in overrides}
+    cells = []
+    for n_instances in sizes:
+        for policy in policies:
+            key = f"{n_instances}x/{policy}"
+            if wanted is not None and key not in wanted:
+                continue
+            params = dict(workload_overrides)
+            params["n_instances"] = n_instances
+            params["policy"] = policy
+            cells.append(CellSpec("fleet_scale", key, params, seed))
+    return tuple(cells)
+
+
+def _verdict(cells: Sequence[CellSpec],
+             docs: Sequence[Dict[str, Any]]) -> str:
+    by_key = {cell.key: doc for cell, doc in zip(cells, docs)}
+    sizes = sorted({doc["instances"] for doc in docs})
+    pairs = [(n, by_key.get(f"{n}x/stateful"), by_key.get(f"{n}x/stateless"))
+             for n in sizes]
+    pairs = [(n, sf, sl) for n, sf, sl in pairs
+             if sf is not None and sl is not None]
+    if not pairs:
+        return "verdict: need both policies at one size for a comparison"
+    lines = []
+    stateless_survives = True
+    for n, sf, sl in pairs:
+        winner = "stateless" if sl["p99_ms"] <= sf["p99_ms"] else "stateful"
+        if sl["broken"] >= sf["broken"] or sl["broken_instance"] != 0:
+            stateless_survives = False
+        lines.append(
+            f"{n}x: p99 stateless {sl['p99_ms']:.2f}ms vs stateful "
+            f"{sf['p99_ms']:.2f}ms ({winner} wins); broken "
+            f"{sl['broken']} vs {sf['broken']}")
+    head = ("verdict: stateless lookup survives the instance crash "
+            "(broken stays backend-churn-bounded at every size)"
+            if stateless_survives else
+            "verdict: stateless did NOT dominate on broken connections "
+            "at this seed/config")
+    return head + "\n  " + "\n  ".join(lines)
+
+
+def _merge(cells: Sequence[CellSpec],
+           docs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    verdict = _verdict(cells, docs)
+    return {
+        "cells": {cell.key: doc for cell, doc in zip(cells, docs)},
+        "verdict": verdict,
+        "rendered": concat_rendered(docs) + "\n" + verdict,
+    }
+
+
+register(ExperimentSpec(
+    name="fleet_scale",
+    title="Fleet scale-out: stateful vs stateless lookup under churn+crash",
+    cells=_cells, run_cell=lambda cell: run_fleet_cell(
+        cell.seed, dict(cell.params)),
+    merge=_merge, render=lambda merged: merged["rendered"],
+    default_seed=31,
+    tunables={
+        "cells": "subset of cell keys to run (default: all sizes×policies)",
+        "instances": "fleet sizes to sweep (default: 2, 4, 8)",
+        "policies": "lookup policies (default: stateful, stateless)",
+        "n_workers": "workers per LB instance",
+        "conn_rate": "steady connection rate (cps)",
+        "duration": "cell duration (s)",
+        "churn_at": "backend churn time (s)",
+        "churn_k": "backends replaced by the churn",
+        "crash_at": "instance crash time (s)",
+        "detect_delay": "instance failure-detection window (s)",
+    }))

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional
 from ..obs.trace import CAT_FAULT
 from ..sim.engine import Environment
 from ..sim.rng import RngRegistry, Stream
-from .plan import WORKER_KINDS, FaultKind, FaultPlan, FaultSpec
+from .plan import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
 
 __all__ = ["FaultInjector", "inject_hang"]
 
@@ -66,14 +66,21 @@ class FaultInjector:
     backend:
         Optional :class:`~repro.lb.backend.BackendPool` that backend
         brownout/blackout faults act on.
+    fleet:
+        Optional :class:`~repro.fleet.Fleet` that fleet-scope kinds
+        (``instance_crash``/``instance_drain``/``backend_churn``) act on.
+        When a plan holds only fleet-scope faults, ``server`` may be None.
     """
 
     def __init__(self, env: Environment, server, plan: FaultPlan,
                  registry: Optional[RngRegistry] = None, tracer=None,
-                 backend=None):
+                 backend=None, fleet=None):
         self.env = env
         self.server = server
         self.plan = plan
+        self.fleet = fleet
+        if tracer is None and fleet is not None:
+            tracer = fleet.tracer
         self.tracer = tracer if tracer is not None \
             else getattr(server, "tracer", None)
         self.backend = backend
@@ -106,6 +113,18 @@ class FaultInjector:
 
     def _validate(self, spec: FaultSpec) -> None:
         """Fail fast at arm time when the stack can't host the fault."""
+        if spec.kind in FLEET_KINDS:
+            if self.fleet is None:
+                raise ValueError(f"{spec.kind.value} fault needs a fleet")
+            if isinstance(spec.target, int) and not \
+                    0 <= spec.target < len(self.fleet.cluster.devices):
+                raise ValueError(
+                    f"target instance {spec.target} out of range")
+            return
+        if self.server is None:
+            raise ValueError(
+                f"{spec.kind.value} fault needs a server (fleet-only "
+                f"injector arms only fleet-scope kinds)")
         if spec.kind is FaultKind.NIC_LOSS \
                 and self.server.stack.nic is None:
             raise ValueError("nic_loss fault needs a server built with a Nic")
@@ -159,6 +178,23 @@ class FaultInjector:
         alive = [w for w in workers if w.is_alive] or list(workers)
         return alive[self._rng(index).randrange(len(alive))]
 
+    def _resolve_instance(self, spec: FaultSpec, index: int) -> int:
+        """Victim LB instance *index* for fleet-scope kinds."""
+        target = spec.target if spec.target is not None else "busiest"
+        devices = self.fleet.cluster.devices
+        if isinstance(target, int):
+            return target
+        indexed = list(enumerate(devices))
+        if target == "busiest":
+            chosen = max(indexed,
+                         key=lambda pair: (sum(len(w.conns)
+                                               for w in pair[1].workers),
+                                           -pair[0]))
+            return chosen[0]
+        up = [i for i, d in indexed if d.alive_workers] \
+            or [i for i, _d in indexed]
+        return up[self._rng(index).randrange(len(up))]
+
     # -- firing -----------------------------------------------------------
     def _fire(self, spec: FaultSpec, index: int, occurrence: int) -> None:
         self.faults_fired += 1
@@ -172,6 +208,9 @@ class FaultInjector:
             FaultKind.WST_TORN_BURST: self._fire_torn_burst,
             FaultKind.BITMAP_SYNC_LOSS: self._fire_sync_loss,
             FaultKind.NIC_LOSS: self._fire_nic_loss,
+            FaultKind.INSTANCE_CRASH: self._fire_instance_crash,
+            FaultKind.INSTANCE_DRAIN: self._fire_instance_drain,
+            FaultKind.BACKEND_CHURN: self._fire_backend_churn,
         }[spec.kind]
         handler(spec, index, occurrence)
 
@@ -323,6 +362,60 @@ class FaultInjector:
         self._emit("fire", spec, index, occurrence=occurrence,
                    loss_prob=spec.magnitude, duration=spec.duration)
         self._schedule_clear(spec, index, lambda: nic.set_loss(0.0))
+
+    # -- fleet-scope kinds -------------------------------------------------
+    def _fire_instance_crash(self, spec: FaultSpec, index: int,
+                             occurrence: int) -> None:
+        fleet = self.fleet
+        victim = self._resolve_instance(spec, index)
+        instance = fleet.cluster.devices[victim]
+        if not instance.alive_workers:
+            self._emit("fire", spec, index, instance=instance.name,
+                       occurrence=occurrence, skipped="already down")
+            return
+        detect_delay = (spec.detect_delay if spec.detect_delay is not None
+                        else 0.005)
+        conns = sum(len(w.conns) for w in instance.workers)
+        migrated_before = fleet.migrated
+        broken_before = fleet.broken_instance
+        # The fleet schedules its own detection callback first, so at the
+        # detection timestamp it has already run (callbacks are FIFO) and
+        # the clear record below sees the settled migrate/break counts.
+        fleet.crash_instance(victim, detect_delay=detect_delay)
+        self._emit("fire", spec, index, instance=instance.name,
+                   occurrence=occurrence, detect_delay=detect_delay,
+                   conns_at_risk=conns)
+
+        def clear():
+            recorder = getattr(self.tracer, "recorder", None)
+            if recorder is not None:
+                self.crash_dumps.append(recorder.dump())
+            self.faults_cleared += 1
+            self._emit("clear", spec, index, instance=instance.name,
+                       migrated=fleet.migrated - migrated_before,
+                       broken=fleet.broken_instance - broken_before,
+                       flight_dumped=recorder is not None)
+
+        self.env.schedule_callback(detect_delay, clear)
+
+    def _fire_instance_drain(self, spec: FaultSpec, index: int,
+                             occurrence: int) -> None:
+        victim = self._resolve_instance(spec, index)
+        instance = self.fleet.cluster.devices[victim]
+        if self.fleet.cluster.is_draining(instance):
+            self._emit("fire", spec, index, instance=instance.name,
+                       occurrence=occurrence, skipped="already draining")
+            return
+        self.fleet.drain_instance(victim)
+        self._emit("fire", spec, index, instance=instance.name,
+                   occurrence=occurrence)
+
+    def _fire_backend_churn(self, spec: FaultSpec, index: int,
+                            occurrence: int) -> None:
+        k = int(spec.magnitude)
+        broken = self.fleet.churn_backends(k)
+        self._emit("fire", spec, index, occurrence=occurrence, churn=k,
+                   broken=broken, version=self.fleet.backend_map.version)
 
     # -- introspection -----------------------------------------------------
     def fired(self, kind: Optional[FaultKind] = None) -> List[Dict[str, Any]]:

@@ -24,6 +24,14 @@ entries describing *every* failure class the paper's evaluation touches:
   failure surface with XLB-style eBPF datapaths).
 - ``nic_loss`` — the NIC drops arriving SYNs/data with probability
   ``magnitude`` for ``duration`` (loss burst).
+- ``instance_crash`` / ``instance_drain`` — fleet-scope faults
+  (``repro.fleet``): a whole LB instance dies (every worker at once, with
+  a ``detect_delay`` failure-detection window) or is taken out of
+  new-connection rotation.  ``target`` selects the instance the same way
+  worker faults select a worker (index, ``"busiest"``, ``"random"``).
+- ``backend_churn`` — the fleet's backend set rolls: ``magnitude``
+  backends retire and as many fresh ones join, publishing a new
+  version-stamped backend mapping (the PCC stress scenario).
 
 Plans are deterministic: every randomized choice (``target="random"``,
 ``jitter``) draws from a named :class:`~repro.sim.rng.RngRegistry` stream
@@ -53,6 +61,9 @@ class FaultKind(Enum):
     WST_TORN_BURST = "wst_torn_burst"
     BITMAP_SYNC_LOSS = "bitmap_sync_loss"
     NIC_LOSS = "nic_loss"
+    INSTANCE_CRASH = "instance_crash"
+    INSTANCE_DRAIN = "instance_drain"
+    BACKEND_CHURN = "backend_churn"
 
 
 #: Kinds that act on one victim worker (and therefore accept ``target``).
@@ -60,6 +71,14 @@ WORKER_KINDS = frozenset({
     FaultKind.WORKER_HANG, FaultKind.WORKER_CRASH, FaultKind.SLOW_WORKER,
     FaultKind.WST_FREEZE,
 })
+
+#: Fleet-scope kinds that act on one victim LB instance.
+INSTANCE_KINDS = frozenset({
+    FaultKind.INSTANCE_CRASH, FaultKind.INSTANCE_DRAIN,
+})
+
+#: Kinds that need an armed :class:`~repro.fleet.Fleet` to act on.
+FLEET_KINDS = INSTANCE_KINDS | frozenset({FaultKind.BACKEND_CHURN})
 
 #: Kinds whose ``magnitude`` is a probability in [0, 1].
 PROBABILITY_KINDS = frozenset({FaultKind.WST_TORN_BURST, FaultKind.NIC_LOSS})
@@ -135,6 +154,9 @@ class FaultSpec:
             raise ValueError("detect_delay must be >= 0")
         if self.kind is FaultKind.BACKEND_BLACKOUT and self.server_id is None:
             raise ValueError("backend_blackout needs a server_id")
+        if self.kind is FaultKind.BACKEND_CHURN and self.magnitude < 1:
+            raise ValueError(
+                "backend_churn magnitude is the churn size, must be >= 1")
 
     @property
     def needs_rng(self) -> bool:

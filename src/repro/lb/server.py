@@ -243,6 +243,52 @@ class LBServer:
         """Client data arrives on an established connection."""
         self.stack.deliver(connection, request)
 
+    def adopt_connection(self, connection: Connection):
+        """Take over an established connection from another device.
+
+        The fleet failover path (``repro.fleet``): under the stateless
+        lookup policy any instance can serve a migrated connection, so on
+        instance failure the L4 tier re-steers its established flows here.
+        The adopting worker is picked deterministically by flow hash over
+        the alive workers (walking on from a full worker, as the L4
+        re-steer retries); the connection gets a fresh fd with its pending
+        data readable, and full accept bookkeeping so the conservation
+        ledger (``accepted == closed + in_flight + resets``) stays exact.
+
+        Returns the adopting :class:`Worker`, or None when every alive
+        worker is at connection capacity (the connection is then reset
+        and counted as refused).
+        """
+        from ..kernel.hash import jhash_4tuple, reciprocal_scale
+        alive = self.alive_workers
+        if not alive:
+            raise RuntimeError(f"{self.name} has no alive workers to adopt")
+        flow_hash = jhash_4tuple(connection.four_tuple, self.stack.hash_seed)
+        start = reciprocal_scale(flow_hash, len(alive))
+        worker = None
+        for offset in range(len(alive)):
+            candidate = alive[(start + offset) % len(alive)]
+            if not candidate.at_connection_capacity:
+                worker = candidate
+                break
+        if worker is None:
+            connection.reset("adoption refused: workers at capacity")
+            self.metrics.connections_refused += 1
+            return None
+        fd = connection.mark_accepted(worker, self.env.now)
+        if self.tracer is not None:
+            fd.wait_queue.tracer = self.tracer
+            self.tracer.instant("conn.adopt", "worker",
+                                worker=worker.worker_id, conn=connection.id)
+        worker.epoll.ctl_add(fd, edge_triggered=self.profile.edge_triggered)
+        worker.conns[fd] = connection
+        worker.metrics.accepted += 1
+        worker.metrics.connections.increment()
+        self.metrics.connections_accepted += 1
+        worker._hermes_conns(+1)
+        worker._update_accept_interest()
+        return worker
+
     # -- failure injection -----------------------------------------------------
     def hang_worker(self, worker_id: int, duration: float) -> None:
         """Block one worker's next loop iteration (routed through the

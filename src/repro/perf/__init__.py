@@ -13,7 +13,7 @@ Two jobs:
 """
 
 from .golden import (canonical_json, cell_fingerprint, fig13_fingerprint,
-                     fingerprint, sec7_fingerprint)
+                     fingerprint, fleet_fingerprint, sec7_fingerprint)
 from .harness import BenchResult, calibrate, run_benchmarks, time_bench
 from .report import (build_report, check_regression, load_report,
                      render_report, write_report)
@@ -24,6 +24,7 @@ __all__ = [
     "cell_fingerprint",
     "sec7_fingerprint",
     "fig13_fingerprint",
+    "fleet_fingerprint",
     "BenchResult",
     "calibrate",
     "time_bench",

@@ -17,6 +17,9 @@ The fingerprints deliberately cover the whole stack, not just the engine:
   and Hermes modes (fault injection, restart paths, per-worker teardown).
 - :func:`fig13_fingerprint` — the Fig. 13 load-balance sweep (periodic
   samplers, per-worker CPU accounting, three notification modes).
+- :func:`fleet_fingerprint` — one ``fleet_scale`` cell (ingress hashing,
+  per-instance hash-seed derivation, backend-map versioning, failover
+  migration, PCC monitoring).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ __all__ = [
     "cell_fingerprint",
     "sec7_fingerprint",
     "fig13_fingerprint",
+    "fleet_fingerprint",
 ]
 
 
@@ -136,4 +140,31 @@ def fig13_fingerprint(n_workers: int = 4, duration: float = 2.0,
                           for m, doc in series.items()},
         "conn_sd_series": {m: [list(p) for p in doc["conn_series"]]
                            for m, doc in series.items()},
+    })
+
+
+def fleet_fingerprint(n_instances: int = 4, policy: str = "stateless",
+                      seed: int = 31) -> str:
+    """Hash one ``fleet_scale`` cell end to end (churn + instance crash).
+
+    Covers everything cluster-of-clusters adds on top of a single device:
+    the ECMP ingress spray, per-instance hash-seed derivation, version-
+    stamped backend-map churn, stateless failover migration, and the PCC/
+    invariant monitors (which must read without perturbing the run).
+    """
+    from ..experiments.fleet_scale import run_fleet_cell
+
+    doc = run_fleet_cell(seed, {"n_instances": n_instances,
+                                "policy": policy})
+    return fingerprint({
+        "instances": doc["instances"],
+        "policy": doc["policy"],
+        "p99_ms": doc["p99_ms"],
+        "avg_ms": doc["avg_ms"],
+        "completed": doc["completed"],
+        "failed": doc["failed"],
+        "broken_instance": doc["broken_instance"],
+        "broken_backend": doc["broken_backend"],
+        "migrated": doc["migrated"],
+        "pcc_violations": doc["pcc_violations"],
     })

@@ -19,7 +19,7 @@ and say so in the PR description.
 import pytest
 
 from repro.perf.golden import (cell_fingerprint, fig13_fingerprint,
-                               sec7_fingerprint)
+                               fleet_fingerprint, sec7_fingerprint)
 
 # The golden entry points must stay off deprecated wrappers: any
 # DeprecationWarning raised while producing a fingerprint is a failure.
@@ -32,6 +32,10 @@ GOLDEN_SEC7 = \
     "a27380be660b98c8a0d8822868180001bb97d830e444f0545a8d19b4099e3ed4"
 GOLDEN_FIG13 = \
     "3b62c785c27feaeae6f24e01377d3051db7ef0b70b729c63f18e9d346fd1168d"
+# Captured when repro.fleet landed: the pinned 4-instance stateless cell
+# (churn at 0.6s + busiest-instance crash at 0.9s, seed 31).
+GOLDEN_FLEET = \
+    "60f45b9bd46e5894c774dc9624687e1fd391d66ef8d838e2ea4dd1c973d926fc"
 
 
 def test_case_cell_bit_identical():
@@ -47,6 +51,11 @@ def test_sec7_bit_identical():
 def test_fig13_bit_identical():
     """Fig. 13 full series hash-matches the pre-PR engine."""
     assert fig13_fingerprint() == GOLDEN_FIG13
+
+
+def test_fleet_bit_identical():
+    """The pinned fleet_scale cell (ingress + failover + PCC monitors)."""
+    assert fleet_fingerprint() == GOLDEN_FLEET
 
 
 def test_fingerprints_are_run_to_run_stable():
