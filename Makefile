@@ -16,8 +16,11 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Full benchmark run; rewrites the committed canonical report.
+# Narrow to one or more benches with BENCH: make perf BENCH=engine_throughput
+# or BENCH="engine_throughput fleet_sharded".
 perf:
-	PYTHONPATH=src python -m repro perf
+	PYTHONPATH=src python -m repro perf \
+	    $(foreach b,$(BENCH),--bench $(b))
 
 # What CI runs: quick scales, gate against the committed report.
 perf-check:

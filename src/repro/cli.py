@@ -285,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--check", action="store_true",
                        help="arm the PCC monitor, per-instance invariant "
                             "monitors, and live differential oracles")
+    fleet.add_argument("--jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="run sharded: one process per instance, merged "
+                            "deterministically (output is byte-identical "
+                            "for any N; incompatible with --crash-at and "
+                            "ring_bounded ingress)")
 
     resilience = sub.add_parser(
         "resilience", help="fault x mode resilience matrix")
@@ -653,8 +659,61 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_fleet_sharded(args) -> int:
+    from .fleet.sharded import run_sharded_fleet
+
+    if args.crash_at is not None:
+        print("error: --crash-at cannot be sharded (failover migrates "
+              "connections between instances); drop --jobs", file=sys.stderr)
+        return 1
+    if args.mode != "hermes":
+        print("error: sharded fleet runs hermes mode only", file=sys.stderr)
+        return 1
+    try:
+        doc = run_sharded_fleet(
+            policy=args.policy, n_instances=args.instances,
+            n_workers=args.workers, seed=args.seed, duration=args.duration,
+            conn_rate=args.rate,
+            churn_at=(args.churn_at if args.churn_at is not None
+                      and args.churn_at >= 0 else None),
+            churn_k=args.churn_k, ingress=args.ingress, jobs=args.jobs,
+            check=args.check)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"check: {sum(doc['passes'].values())} invariant "
+              f"evaluation(s), {doc['pcc_violations']} PCC violation(s)")
+    print(render_table(
+        ["metric", "value"],
+        [["policy", doc["policy"]],
+         ["ingress", doc["ingress"]],
+         ["instances (shards)", doc["instances"]],
+         ["jobs", args.jobs],
+         ["requests completed", doc["completed"]],
+         ["failed", doc["failed"]],
+         ["broken (backend)", doc["broken_backend"]],
+         ["backend map version", doc["backend_version"]],
+         ["foreign arrivals skipped", doc["foreign"]],
+         ["avg latency (ms)", f"{doc['avg_ms']:.3f}"],
+         ["p99 latency (ms)", f"{doc['p99_ms']:.3f}"],
+         ["throughput (kRPS)", f"{doc['throughput_rps'] / 1e3:.2f}"]],
+        title=f"sharded hermes fleet of {args.instances} "
+              f"({args.policy} lookup, {args.ingress} ingress, "
+              f"jobs={args.jobs})"))
+    if args.out:
+        if not _write_json(args.out, json.dumps(doc, indent=2,
+                                                sort_keys=True)):
+            return 1
+        print(f"summary -> {args.out}")
+    return 0
+
+
 def _cmd_fleet(args) -> int:
     from contextlib import nullcontext
+
+    if args.jobs is not None:
+        return _cmd_fleet_sharded(args)
 
     from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
     from .fleet import build_fleet

@@ -26,7 +26,8 @@ from typing import Any, Dict, Sequence, Tuple
 
 from .registry import CellSpec, ExperimentSpec, concat_rendered, register
 
-__all__ = ["run_fleet_cell", "BASE_WORKLOAD", "FLEET_SIZES", "POLICIES"]
+__all__ = ["run_fleet_cell", "BASE_WORKLOAD", "FLEET_SIZES", "POLICIES",
+           "SHARDED_SIZES"]
 
 #: Workload + fault schedule shared by every cell.  The crash lands after
 #: the churn so the stateless policy has to survive both: re-resolve
@@ -47,6 +48,11 @@ FLEET_SIZES: Tuple[int, ...] = (2, 4, 8)
 #: Lookup policies head-to-head at every size.
 POLICIES: Tuple[str, ...] = ("stateful", "stateless")
 
+#: Opt-in process-sharded sizes (``sharded_sizes`` tunable).  Off by
+#: default so the default grid — and GOLDEN_FLEET — is untouched; the
+#: sharded tier exists to scale past what one event loop can hold.
+SHARDED_SIZES: Tuple[int, ...] = (16, 32, 64)
+
 
 def run_fleet_cell(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
     """One cell: a fresh fleet under churn + crash, PCC-monitored."""
@@ -56,6 +62,10 @@ def run_fleet_cell(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
     workload.update({k: params[k] for k in BASE_WORKLOAD if k in params})
     n_instances = params["n_instances"]
     policy = params["policy"]
+
+    if params.get("sharded"):
+        return _run_sharded_cell(seed, n_instances, policy, workload,
+                                 int(params.get("jobs", 1)))
 
     pcc, passes, summary = run_monitored_fleet(
         policy=policy, n_instances=n_instances,
@@ -90,6 +100,44 @@ def run_fleet_cell(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _run_sharded_cell(seed: int, n_instances: int, policy: str,
+                      workload: Dict[str, Any], jobs: int) -> Dict[str, Any]:
+    """A process-sharded cell: churn only (instance crash cannot shard)."""
+    from ..fleet.sharded import run_sharded_fleet
+
+    doc = run_sharded_fleet(
+        policy=policy, n_instances=n_instances,
+        n_workers=workload["n_workers"], seed=seed,
+        duration=workload["duration"], conn_rate=workload["conn_rate"],
+        churn_at=workload["churn_at"], churn_k=workload["churn_k"],
+        jobs=jobs, check=True)
+    rendered = (
+        f"{n_instances}x {policy:<9s} | p99={doc['p99_ms']:7.2f}ms "
+        f"avg={doc['avg_ms']:6.2f}ms done={doc['completed']:5d} "
+        f"failed={doc['failed']:3d} broken={doc['broken']:3d} "
+        f"(backend={doc['broken_backend']}) sharded "
+        f"pcc={'OK' if not doc['pcc_violations'] else 'VIOLATED'}")
+    # Note: ``jobs`` must not leak into the result doc — the cell output
+    # is byte-identical for any worker count, and the memo cache must
+    # agree.
+    return {
+        "instances": n_instances,
+        "policy": policy,
+        "sharded": True,
+        "p99_ms": round(doc["p99_ms"], 6),
+        "avg_ms": round(doc["avg_ms"], 6),
+        "completed": doc["completed"],
+        "failed": doc["failed"],
+        "broken": doc["broken"],
+        "broken_instance": 0,
+        "broken_backend": doc["broken_backend"],
+        "migrated": 0,
+        "pcc_violations": doc["pcc_violations"],
+        "checks_passed": doc["passes"],
+        "rendered": rendered,
+    }
+
+
 def _cells(seed: int, overrides: Dict[str, Any]) -> Tuple[CellSpec, ...]:
     wanted = overrides.get("cells")
     sizes = tuple(overrides.get("instances", FLEET_SIZES))
@@ -106,6 +154,16 @@ def _cells(seed: int, overrides: Dict[str, Any]) -> Tuple[CellSpec, ...]:
             params["n_instances"] = n_instances
             params["policy"] = policy
             cells.append(CellSpec("fleet_scale", key, params, seed))
+    for n_instances in tuple(overrides.get("sharded_sizes", ())):
+        key = f"{n_instances}x/sharded"
+        if wanted is not None and key not in wanted:
+            continue
+        params = dict(workload_overrides)
+        params["n_instances"] = int(n_instances)
+        params["policy"] = "stateless"
+        params["sharded"] = True
+        params["jobs"] = int(overrides.get("jobs", 1))
+        cells.append(CellSpec("fleet_scale", key, params, seed))
     return tuple(cells)
 
 
@@ -165,4 +223,8 @@ register(ExperimentSpec(
         "churn_k": "backends replaced by the churn",
         "crash_at": "instance crash time (s)",
         "detect_delay": "instance failure-detection window (s)",
+        "sharded_sizes": "extra process-sharded stateless sizes "
+                         "(e.g. 16,32,64; churn only, no crash)",
+        "jobs": "worker processes for sharded cells (output is "
+                "byte-identical for any value)",
     }))

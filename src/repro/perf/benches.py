@@ -29,12 +29,14 @@ from .harness import BenchResult, time_bench
 
 __all__ = [
     "bench_engine_throughput",
+    "bench_engine_wheel_throughput",
     "bench_condition_allof",
     "bench_schedule_callback",
     "bench_scheduler_cascade",
     "bench_epoll_wakeup_fanout",
     "bench_macro_lb_run",
     "bench_sweep_table3",
+    "bench_fleet_sharded",
 ]
 
 
@@ -66,6 +68,62 @@ def bench_engine_throughput(quick: bool = False,
     return time_bench("engine_throughput", setup, run, unit="events",
                       repeats=repeats,
                       meta={"n_procs": n_procs, "events_per_proc": n_events})
+
+
+# ---------------------------------------------------------------------------
+# engine_wheel_throughput
+# ---------------------------------------------------------------------------
+
+def bench_engine_wheel_throughput(quick: bool = False,
+                                  repeats: int = 3) -> BenchResult:
+    """Timer wheel vs heap at fleet scale: 20k concurrent timer processes.
+
+    The wheel's O(1) slot insert pays off where the heap pays O(log n) —
+    large live populations — so this bench runs at 20000 processes (the
+    64-instance-fleet regime) rather than ``engine_throughput``'s 50.
+    Heap and wheel reps are interleaved within one process so frequency
+    drift on shared hosts hits both sides equally; the headline score is
+    the wheel's, with the live heap number and both speedup ratios in
+    the meta.
+    """
+    import time as _time
+
+    from ..sim.engine import Environment
+    from .baseline import PRE_PR_BASELINE
+
+    n_procs = 2000 if quick else 20000
+    n_events = 40 if quick else 75
+
+    def ticker(n):
+        for _ in range(n):
+            yield 1.0
+
+    def one(scheduler: str) -> float:
+        env = Environment(scheduler=scheduler)
+        for _ in range(n_procs):
+            env.process(ticker(n_events))
+        start = _time.perf_counter()
+        env.run()
+        return _time.perf_counter() - start
+
+    total = n_procs * n_events
+    best_heap = best_wheel = float("inf")
+    for _ in range(max(repeats, 2)):
+        best_heap = min(best_heap, one("heap"))
+        best_wheel = min(best_wheel, one("wheel"))
+    heap_ops = total / best_heap
+    wheel_ops = total / best_wheel
+    meta: Dict[str, Any] = {
+        "n_procs": n_procs, "events_per_proc": n_events,
+        "heap_ops_per_sec": round(heap_ops, 1),
+        "speedup_vs_heap": round(wheel_ops / heap_ops, 3),
+    }
+    pre = (PRE_PR_BASELINE.get("benches", {})
+           .get("engine_throughput", {}).get("ops_per_sec"))
+    if pre:
+        meta["speedup_vs_pre_pr_heap"] = round(wheel_ops / pre, 3)
+    return BenchResult(name="engine_wheel_throughput", ops=total,
+                       seconds=best_wheel, unit="events", meta=meta)
 
 
 # ---------------------------------------------------------------------------
@@ -311,5 +369,52 @@ def bench_sweep_table3(quick: bool = False, repeats: int = 3) -> BenchResult:
                               "n_workers": overrides["n_workers"],
                               "duration_scale":
                                   overrides["duration_scale"]})
+    result.meta.update(extra)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# fleet_sharded
+# ---------------------------------------------------------------------------
+
+def bench_fleet_sharded(quick: bool = False, repeats: int = 3) -> BenchResult:
+    """Process-sharded fleet: serial vs fanned, byte-identity asserted.
+
+    Mirrors ``sweep_table3``'s contract at the fleet tier: every repeat
+    runs the same N-instance fleet serially (``jobs=1``) and through a
+    process pool (``jobs=2``), asserts the merged documents match byte
+    for byte, and scores engine events/sec across both runs.
+    """
+    import json as _json
+
+    from ..fleet.sharded import run_sharded_fleet
+
+    # Quick shrinks the fleet but keeps the duration: per-run fixed
+    # overhead scales with wall time, so shortening the run (rather
+    # than the fleet) skews events/sec and trips the normalized gate.
+    n_instances = 4 if quick else 8
+    duration = 1.5
+    extra: Dict[str, Any] = {}
+
+    def setup():
+        return None
+
+    def run(_state) -> int:
+        serial = run_sharded_fleet(n_instances=n_instances,
+                                   duration=duration, jobs=1)
+        fanned = run_sharded_fleet(n_instances=n_instances,
+                                   duration=duration, jobs=2)
+        extra["byte_identical"] = (
+            _json.dumps(serial, sort_keys=True)
+            == _json.dumps(fanned, sort_keys=True))
+        assert extra["byte_identical"]
+        extra["completed"] = serial["completed"]
+        extra["foreign"] = serial["foreign"]
+        return serial["steps"] + fanned["steps"]
+
+    result = time_bench("fleet_sharded", setup, run, unit="events",
+                        repeats=min(repeats, 2),
+                        meta={"n_instances": n_instances,
+                              "duration": duration, "jobs": 2})
     result.meta.update(extra)
     return result

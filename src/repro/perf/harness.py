@@ -89,12 +89,14 @@ def time_bench(name: str, setup: Callable[[], Any],
 #: Canonical bench registry order (also the report order).
 BENCH_NAMES: Tuple[str, ...] = (
     "engine_throughput",
+    "engine_wheel_throughput",
     "condition_allof",
     "schedule_callback",
     "scheduler_cascade",
     "epoll_wakeup_fanout",
     "macro_lb_run",
     "sweep_table3",
+    "fleet_sharded",
 )
 
 

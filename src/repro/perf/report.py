@@ -11,6 +11,7 @@ difference between the committed baseline and the CI runner.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from typing import Any, Dict, List, Optional
@@ -24,7 +25,16 @@ __all__ = ["build_report", "write_report", "load_report",
 SCHEMA = "repro.perf/v1"
 
 #: Benches the CI regression gate checks (the events/sec trajectory).
-GATED_BENCHES = ("engine_throughput", "macro_lb_run", "sweep_table3")
+GATED_BENCHES = ("engine_throughput", "engine_wheel_throughput",
+                 "macro_lb_run", "sweep_table3", "fleet_sharded")
+
+
+def _effective_affinity() -> Optional[int]:
+    """CPUs this process may actually run on (None where unsupported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return None
 
 
 def build_report(results: Dict[str, BenchResult],
@@ -45,6 +55,10 @@ def build_report(results: Dict[str, BenchResult],
             "implementation": sys.implementation.name,
             "platform": sys.platform,
             "calibration_ops_per_sec": round(calibration_ops_per_sec, 1),
+            "cpu_count": os.cpu_count(),
+            # Effective affinity — a 64-core box pinned to 1 CPU must not
+            # masquerade as 64-way (the PR-4 0.88x container artifact).
+            "cpu_affinity": _effective_affinity(),
         },
         "benches": benches,
         "normalized": normalized,

@@ -1,6 +1,9 @@
 """Tests for the repro.perf harness, report, regression gate, and CLI."""
 
 import json
+import os
+import shutil
+import subprocess
 
 import pytest
 
@@ -171,3 +174,55 @@ class TestCli:
         rc = main(["perf", "--quick", "--bench", "bogus",
                    "--out", str(tmp_path / "x.json")])
         assert rc == 1
+
+
+class TestHostMetadata:
+    def test_report_records_cpu_topology(self):
+        report = build_report(_fake_results(), 1e6)
+        host = report["host"]
+        assert host["cpu_count"] == os.cpu_count()
+        try:
+            expected = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            expected = None
+        assert host["cpu_affinity"] == expected
+        assert host["python"]
+
+    def test_affinity_never_exceeds_cpu_count(self):
+        host = build_report(_fake_results(), 1e6)["host"]
+        if host["cpu_affinity"] is not None:
+            assert 1 <= host["cpu_affinity"] <= host["cpu_count"]
+
+
+class TestNewBenches:
+    def test_wheel_and_sharded_registered_and_gated(self):
+        assert "engine_wheel_throughput" in BENCH_NAMES
+        assert "fleet_sharded" in BENCH_NAMES
+        assert "engine_wheel_throughput" in GATED_BENCHES
+        assert "fleet_sharded" in GATED_BENCHES
+
+    def test_engine_wheel_bench_quick(self):
+        results = run_benchmarks(quick=True,
+                                 only=["engine_wheel_throughput"], repeats=1)
+        result = results["engine_wheel_throughput"]
+        assert result.ops_per_sec > 0
+        assert result.meta["heap_ops_per_sec"] > 0
+        assert result.meta["speedup_vs_heap"] > 0
+        assert result.meta["speedup_vs_pre_pr_heap"] > 0
+
+
+class TestMakefileWiring:
+    def test_make_perf_forwards_bench_selection(self):
+        # `make perf BENCH="a b"` must expand to repeated --bench flags.
+        make = shutil.which("make")
+        if make is None:
+            pytest.skip("make not available")
+        root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        out = subprocess.run(
+            [make, "-n", "perf", "BENCH=engine_throughput fleet_sharded"],
+            capture_output=True, text=True, cwd=root)
+        assert out.returncode == 0, out.stderr
+        flat = " ".join(out.stdout.split())
+        assert "--bench engine_throughput" in flat
+        assert "--bench fleet_sharded" in flat

@@ -1,0 +1,173 @@
+"""Property suite: wheel vs heap pop-order equivalence.
+
+Hypothesis drives randomly-shaped simulations through both schedulers
+and requires bit-identical observable behaviour: the same event log, the
+same ``env.now`` trajectory, the same ``env.steps`` (stale pops
+included).  The generators deliberately produce the adversarial shapes
+the wheel has special-case machinery for:
+
+- same-tick collisions (zero and equal delays → eid tiebreak in a slot),
+- sub-granularity delays that force ``_rebase``/``_retune``,
+- far-future delays that detour through the overflow ring,
+- cancellations via ``interrupt()`` (stale ``_sched_eid`` entries on the
+  heap, tombstoned slot entries on the wheel),
+- URGENT-priority wakeups (event succeed / interrupt) racing NORMAL
+  timers at the same timestamp,
+- partial ``run(until=...)`` splits that pause mid-backlog.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment, Interrupt
+
+# Delay menu spanning every wheel regime: same-tick (0.0), sub-tick,
+# in-window, window-edge, and overflow-only magnitudes.
+_DELAYS = st.sampled_from(
+    [0.0, 1e-7, 1e-6, 1e-4, 0.001, 0.0013, 0.01, 0.05, 0.5, 3.0, 1e5])
+
+_WORKER = st.tuples(st.lists(_DELAYS, min_size=1, max_size=6),
+                    st.integers(min_value=1, max_value=4))
+
+
+def _drive(sched, workers, interrupts, event_fires, horizons):
+    env = Environment(scheduler=sched)
+    log = []
+
+    def worker(wid, delays, reps):
+        try:
+            for r in range(reps):
+                for j, d in enumerate(delays):
+                    yield d
+                    log.append(("t", wid, r, j, round(env.now, 12)))
+        except Interrupt as exc:
+            log.append(("intr", wid, str(exc), round(env.now, 12)))
+
+    def waiter(wid, ev):
+        val = yield ev
+        log.append(("woke", wid, val, round(env.now, 12)))
+
+    procs = [env.process(worker(wid, delays, reps))
+             for wid, (delays, reps) in enumerate(workers)]
+    for wid, (victim, at) in enumerate(interrupts):
+        def kill(victim=victim, at=at):
+            yield at
+            target = procs[victim % len(procs)]
+            if target.is_alive:
+                target.interrupt("k")
+        env.process(kill())
+    for wid, at in enumerate(event_fires):
+        ev = env.event()
+        env.process(waiter(wid, ev))
+        env.schedule_callback(at, lambda ev=ev, wid=wid: ev.succeed(wid))
+    trajectory = []
+    for h in horizons:
+        env.run(until=h)
+        trajectory.append((round(env.now, 12), env.steps, len(log)))
+    env.run()
+    trajectory.append((round(env.now, 12), env.steps))
+    return log, trajectory
+
+
+@given(workers=st.lists(_WORKER, min_size=1, max_size=6),
+       interrupts=st.lists(
+           st.tuples(st.integers(min_value=0, max_value=5), _DELAYS),
+           max_size=3),
+       event_fires=st.lists(_DELAYS, max_size=3),
+       horizons=st.lists(
+           st.sampled_from([1e-6, 0.0005, 0.004, 0.02, 0.4, 2.5]),
+           max_size=3).map(sorted))
+@settings(max_examples=60, deadline=None)
+def test_wheel_heap_equivalence(workers, interrupts, event_fires, horizons):
+    heap = _drive("heap", workers, interrupts, event_fires, horizons)
+    wheel = _drive("wheel", workers, interrupts, event_fires, horizons)
+    assert heap == wheel
+
+
+@given(delays=st.lists(
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_random_float_delays_pop_identically(delays):
+    # Pure timer soup with arbitrary float delays — the granularity
+    # retune must never reorder anything.
+    def drive(sched):
+        env = Environment(scheduler=sched)
+        order = []
+
+        def sleeper(i, d):
+            yield d
+            order.append((i, round(env.now, 12)))
+
+        for i, d in enumerate(delays):
+            env.process(sleeper(i, d))
+        env.run()
+        return order, env.steps
+
+    assert drive("heap") == drive("wheel")
+
+
+@given(n=st.integers(min_value=2, max_value=60),
+       delay=st.sampled_from([0.0, 1e-6, 0.001, 0.25]))
+@settings(max_examples=25, deadline=None)
+def test_same_tick_collision_preserves_eid_order(n, delay):
+    # All n timers land on one timestamp: creation order must win in
+    # both schedulers (the in-slot sort's eid tiebreak).
+    def drive(sched):
+        env = Environment(scheduler=sched)
+        order = []
+
+        def stamp(i):
+            yield delay
+            order.append(i)
+
+        for i in range(n):
+            env.process(stamp(i))
+        env.run()
+        return order
+
+    heap_order = drive("heap")
+    assert heap_order == drive("wheel") == list(range(n))
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_seeded_interrupt_storm_equivalence(seed):
+    # A storm of interrupts against re-arming sleepers: every cancel
+    # leaves a stale heap entry / tombstoned wheel entry that must be
+    # skipped identically (steps counts them on both sides).
+    import random
+
+    def drive(sched):
+        rng = random.Random(seed)
+        env = Environment(scheduler=sched)
+        log = []
+
+        def sleeper(i):
+            while True:
+                try:
+                    yield rng.random() * 0.01
+                    log.append(("s", i, round(env.now, 12)))
+                    if env.now > 0.05:
+                        return
+                except Interrupt:
+                    log.append(("i", i, round(env.now, 12)))
+
+        procs = [env.process(sleeper(i)) for i in range(8)]
+
+        def chaos():
+            for _ in range(12):
+                yield rng.random() * 0.005
+                victim = procs[rng.randrange(len(procs))]
+                if victim.is_alive:
+                    victim.interrupt()
+
+        env.process(chaos())
+        env.run()
+        return log, round(env.now, 12), env.steps
+
+    # NOTE: rng draws happen inside process code, so both runs replay
+    # the identical draw sequence only if dispatch order is identical —
+    # which is itself the property under test (any divergence cascades).
+    assert drive("heap") == drive("wheel")

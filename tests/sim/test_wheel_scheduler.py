@@ -1,0 +1,308 @@
+"""Timer-wheel scheduler: differential order parity + wheel-only paths.
+
+The wheel's contract is a bit-identical replay of the heap scheduler:
+same ``(when, priority, eid)`` pop order, same ``env.now`` trajectory,
+same ``env.steps`` (including stale pops).  The differential tests here
+run one workload under both schedulers and require the logs to match
+element for element; the unit tests then poke the wheel-only machinery
+(overflow ring, rebase/retune, partial ``run(until)``, ``peek``/``step``)
+and the configurable free-list cap.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.engine import Environment, Interrupt, WheelEnvironment
+
+
+def _mixed_workload(env, log):
+    """Every event class the engine has: timers, events, interrupts,
+    callbacks, same-tick rearm, far-future overflow."""
+
+    def worker(name, delay, n):
+        for i in range(n):
+            yield delay
+            log.append(("tick", name, i, round(env.now, 9)))
+
+    def waiter(name, ev):
+        val = yield ev
+        log.append(("woke", name, val, round(env.now, 9)))
+
+    def sleeper(name, delay):
+        try:
+            yield delay
+            log.append(("slept", name, round(env.now, 9)))
+        except Interrupt as i:
+            log.append(("intr", name, str(i), round(env.now, 9)))
+
+    def far(name):
+        yield 1e6
+        log.append(("far", name, round(env.now, 9)))
+
+    def interrupter(victims, delay):
+        yield delay
+        for v in victims:
+            if v.is_alive:
+                v.interrupt("bang")
+
+    def chainer(name):
+        t = env.timeout(0.013, value="tv")
+        v = yield t
+        log.append(("chain1", name, v, round(env.now, 9)))
+        yield 0.0  # same-tick rearm: must fire in this very slot drain
+        log.append(("chain2", name, round(env.now, 9)))
+        ev = env.event()
+        env.schedule_callback(0.004, lambda: ev.succeed(42))
+        v = yield ev
+        log.append(("chain3", name, v, round(env.now, 9)))
+
+    evs = [env.event() for _ in range(3)]
+    for i, d in enumerate((0.001, 0.0017, 0.01, 0.05)):
+        env.process(worker(f"w{i}", d, 40), name=f"w{i}")
+    for i, ev in enumerate(evs):
+        env.process(waiter(f"wa{i}", ev), name=f"wa{i}")
+    env.schedule_callback(0.0123, lambda: evs[0].succeed("a"))
+    env.schedule_callback(0.0123, lambda: evs[1].succeed("b"))
+    env.schedule_callback(0.5, lambda: evs[2].succeed("c"))
+    vic = [env.process(sleeper(f"s{i}", 0.02 + i * 0.001), name=f"s{i}")
+           for i in range(4)]
+    env.process(interrupter(vic[:2], 0.021))
+    env.process(far("f0"))
+    env.process(chainer("c0"))
+
+
+def _run_mode(sched, horizons):
+    log = []
+    env = Environment(scheduler=sched)
+    _mixed_workload(env, log)
+    out = []
+    for h in horizons:
+        env.run(until=h)
+        out.append((round(env.now, 9), env.steps, len(log)))
+    env.run()
+    out.append((round(env.now, 9), env.steps))
+    return log, out
+
+
+class TestDifferentialOrder:
+    def test_mixed_workload_identical_across_horizons(self):
+        horizons = [0.0105, 0.02, 0.0213, 0.3, 2.0]
+        heap_log, heap_stats = _run_mode("heap", horizons)
+        wheel_log, wheel_stats = _run_mode("wheel", horizons)
+        assert heap_log == wheel_log
+        assert heap_stats == wheel_stats
+        assert len(heap_log) > 100  # the workload actually ran
+
+    def test_run_to_completion_identical(self):
+        heap_log, heap_stats = _run_mode("heap", [])
+        wheel_log, wheel_stats = _run_mode("wheel", [])
+        assert heap_log == wheel_log
+        assert heap_stats == wheel_stats
+
+    def test_same_tick_eid_tiebreak(self):
+        # N timers landing on the exact same timestamp must fire in
+        # creation (eid) order in both modes.
+        def one(sched):
+            order = []
+            env = Environment(scheduler=sched)
+
+            def stamp(i):
+                yield 0.005
+                order.append(i)
+
+            for i in range(50):
+                env.process(stamp(i))
+            env.run()
+            return order
+
+        assert one("heap") == one("wheel") == list(range(50))
+
+
+class TestSchedulerSelection:
+    def test_explicit_kwarg(self):
+        assert Environment(scheduler="heap").scheduler == "heap"
+        wheel = Environment(scheduler="wheel")
+        assert wheel.scheduler == "wheel"
+        assert isinstance(wheel, WheelEnvironment)
+
+    def test_env_var_selects_wheel(self):
+        code = ("import sys; sys.path.insert(0, 'src');"
+                "from repro.sim.engine import Environment;"
+                "print(Environment().scheduler)")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))),
+            env=dict(os.environ, REPRO_SCHED="wheel"))
+        assert out.stdout.strip() == "wheel", out.stderr
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.sim.engine import SimulationError
+        with pytest.raises(SimulationError):
+            Environment(scheduler="fibheap")
+
+
+class TestWheelInternals:
+    def test_overflow_window_crossing(self):
+        # A delay far beyond the 512-slot window must detour through the
+        # overflow ring and still fire at the right time.
+        env = Environment(scheduler="wheel")
+        log = []
+
+        def fast():
+            for i in range(100):
+                yield 0.001
+            log.append(("fast_done", round(env.now, 9)))
+
+        def slow():
+            yield 5.0  # thousands of ticks out at ~0.25ms granularity
+            log.append(("slow", round(env.now, 9)))
+
+        env.process(fast())
+        env.process(slow())
+        env.run()
+        assert log == [("fast_done", 0.1), ("slow", 5.0)]
+
+    def test_run_until_pauses_inside_slot_backlog(self):
+        env_h = Environment(scheduler="heap")
+        env_w = Environment(scheduler="wheel")
+        for env in (env_h, env_w):
+            def tick(env=env):
+                for _ in range(10):
+                    yield 0.25
+            for _ in range(3):
+                env.process(tick())
+            env.run(until=1.1)
+        assert env_h.now == env_w.now
+        assert env_h.steps == env_w.steps
+
+    def test_peek_and_step_match_heap(self):
+        def drive(sched):
+            env = Environment(scheduler=sched)
+
+            def tick():
+                yield 0.5
+                yield 0.25
+
+            env.process(tick())
+            seen = []
+            while env.peek() != float("inf"):
+                seen.append(round(env.peek(), 9))
+                env.step()
+            return seen, env.now, env.steps
+
+        assert drive("heap") == drive("wheel")
+
+    def test_interrupt_tombstones_inflight_timer(self):
+        # Interrupting a process whose timer already sits in a wheel slot
+        # must not fire the stale entry later — and the stale pop must
+        # still advance the clock and count a step, exactly as the
+        # heap's stale ``_sched_eid`` pops do.
+        def drive(sched):
+            env = Environment(scheduler=sched)
+            log = []
+
+            def victim():
+                try:
+                    yield 0.3
+                    log.append("slept")
+                except Interrupt:
+                    log.append("interrupted")
+                    yield 0.05
+                    log.append("resumed")
+
+            def killer(proc):
+                yield 0.1
+                proc.interrupt()
+
+            p = env.process(victim())
+            env.process(killer(p))
+            env.run()
+            return log, round(env.now, 9), env.steps
+
+        heap = drive("heap")
+        wheel = drive("wheel")
+        assert heap == wheel
+        assert heap[0] == ["interrupted", "resumed"]
+
+
+class TestFreeListCap:
+    def test_cap_is_configurable_and_bounds_pools(self):
+        env = Environment(free_list_cap=4)
+        assert env._pool_limit == 4
+        # Burn through far more events than the cap; the pools must
+        # never grow past it.
+        def churn():
+            for _ in range(100):
+                t = env.timeout(0.001)
+                yield t
+
+        env.process(churn())
+        env.run()
+        assert len(env._event_pool) <= 4
+        assert len(env._timeout_pool) <= 4
+
+    def test_cap_zero_disables_pooling(self):
+        env = Environment(free_list_cap=0)
+
+        def churn():
+            for _ in range(50):
+                yield env.timeout(0.001)
+
+        env.process(churn())
+        env.run()
+        assert env._event_pool == []
+        assert env._timeout_pool == []
+
+    def test_overflow_falls_back_to_gc_without_leaking_state(self):
+        # Two back-to-back runs on tiny pools: the second run must see
+        # fresh event state (no callbacks/values leaking through the
+        # free list) and dropped events must be collectable.
+        for sched in ("heap", "wheel"):
+            env = Environment(scheduler=sched, free_list_cap=2)
+            values = []
+
+            def round_trip(tag):
+                for i in range(20):
+                    t = env.timeout(0.001, value=(tag, i))
+                    got = yield t
+                    values.append(got)
+
+            env.process(round_trip("a"))
+            env.process(round_trip("b"))
+            env.run()
+            assert values[-1][1] == 19
+            assert len(env._event_pool) <= 2
+            assert len(env._timeout_pool) <= 2
+            gc.collect()
+            # Pooled events are fully scrubbed: no value/callback leaks
+            # into the next run through the free list.
+            from repro.sim.engine import _PENDING
+            for pool in (env._event_pool, env._timeout_pool):
+                for ev in pool:
+                    assert ev.callbacks == []
+                    assert ev._value is _PENDING
+                    assert not ev._processed and not ev._scheduled
+
+
+class TestWheelMatchesHeapUnderPooling:
+    def test_event_reuse_does_not_change_order(self):
+        def drive(sched):
+            env = Environment(scheduler=sched, free_list_cap=2)
+            log = []
+
+            def looper(name):
+                for i in range(30):
+                    v = yield env.timeout(0.002, value=i)
+                    log.append((name, v, round(env.now, 9)))
+
+            env.process(looper("x"))
+            env.process(looper("y"))
+            env.run()
+            return log, env.steps
+
+        assert drive("heap") == drive("wheel")
