@@ -1,7 +1,7 @@
 # Convenience targets for the Hermes reproduction.
 
 .PHONY: install test bench perf perf-check sweep-check check prequal \
-    fleet examples experiments clean
+    splice fleet examples experiments clean
 
 install:
 	pip install -e .
@@ -69,6 +69,27 @@ prequal:
 	    --mode exclusive --mode hermes --mode prequal --seed 7 \
 	    --out showdown.json
 
+# The splice gate (what the CI splice job runs): mode smoke with the
+# splice-ledger invariant armed, crossover-sweep byte-equality serial vs
+# parallel on the two decisive regimes, and the resilience cell with the
+# in-kernel datapath next to exclusive/hermes on the worker hang.
+splice:
+	PYTHONPATH=src python -m repro run --mode splice --case case1 \
+	    --load light --workers 4 --duration 2 --set splice_after=2 --check
+	PYTHONPATH=src python -m repro sweep splice_crossover --seed 7 \
+	    --jobs 1 --no-cache \
+	    --set 'cells=["small/short/hermes","small/short/splice","large/long/hermes","large/long/splice"]' \
+	    --out splice.serial.json
+	PYTHONPATH=src python -m repro sweep splice_crossover --seed 7 \
+	    --jobs 4 --no-cache \
+	    --set 'cells=["small/short/hermes","small/short/splice","large/long/hermes","large/long/splice"]' \
+	    --out splice.parallel.json
+	cmp splice.serial.json splice.parallel.json
+	@echo "splice crossover sweep is byte-identical to serial"
+	PYTHONPATH=src python -m repro resilience --scenario worker_hang \
+	    --mode exclusive --mode hermes --mode splice --seed 7 \
+	    --out splice.showdown.json
+
 # The fleet gate (what the CI fleet job runs): stateless 8-instance churn
 # under the PCC monitor, the stateful-vs-stateless crash head-to-head,
 # and fleet_scale sweep byte-equality serial vs parallel.
@@ -97,5 +118,5 @@ experiments:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
 	    benchmarks/results .benchmarks .sweep-cache sweep.*.json \
-	    prequal.*.json fleet.*.json showdown.json
+	    prequal.*.json fleet.*.json splice.*.json showdown.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -28,6 +28,10 @@ Checked invariants, per tick:
   ever entered the pool is consumed, evicted, or still pooled
   (``issued == consumed + evicted + in_pool``), and the pool never
   exceeds its configured capacity.
+- **Splice-ledger conservation** (SPLICE mode) — every request handed to
+  the kernel datapath is forwarded, dropped, or still in flight
+  (``requests_in == forwarded + dropped + in_flight``, same for bytes),
+  and the SOCKMAP never holds more entries than its capacity.
 
 Connection conservation counts *client* connections only: probe
 connections (negative tenant ids) are injected by a prober directly into
@@ -181,6 +185,7 @@ class InvariantMonitor:
         self._check_bitmap_wst()
         self._check_lost_wakeup()
         self._check_prequal()
+        self._check_splice()
 
     @staticmethod
     def _client_conns(worker) -> int:
@@ -313,6 +318,31 @@ class InvariantMonitor:
                 f"is {pool.capacity}")
             return
         self._passed("probe_pool")
+
+    def _check_splice(self) -> None:
+        splice = getattr(self.server, "splice", None)
+        if splice is None:
+            self._passed("splice_ledger")
+            return
+        engine = splice.engine
+        if not engine.conserved():
+            self._violate(
+                "splice_ledger",
+                f"splice ledger broken: requests_in {engine.requests_in} != "
+                f"forwarded {engine.requests_forwarded} + dropped "
+                f"{engine.requests_dropped} + in-flight "
+                f"{engine.requests_in_flight} (bytes_in {engine.bytes_in}, "
+                f"forwarded {engine.bytes_forwarded}, dropped "
+                f"{engine.bytes_dropped}, in-flight {engine.bytes_in_flight})")
+            return
+        sockmap = splice.sockmap
+        if len(sockmap) > sockmap.capacity:
+            self._violate(
+                "splice_ledger",
+                f"SOCKMAP holds {len(sockmap)} entries, capacity is "
+                f"{sockmap.capacity}")
+            return
+        self._passed("splice_ledger")
 
     # -- end-of-run checks -------------------------------------------------
     def finalize(self) -> Dict[str, int]:

@@ -51,8 +51,9 @@ same ``--seed`` / ``--out`` / ``--jobs`` contract: explicit seed, optional
 canonical-JSON output, worker process count (single-device commands accept
 ``--jobs`` for interface uniformity and validate it, but execute their one
 cell in-process).  ``--set KEY=VALUE`` is the uniform override spelling:
-on ``run`` it sets :class:`repro.prequal.PrequalConfig` tunables (requires
-``--mode prequal``; ``repro list`` shows each experiment's tunables), on
+on ``run`` it sets the selected mode's config tunables — any architecture
+whose registry spec declares a ``config_factory`` accepts it (prequal,
+splice; ``repro list`` shows both experiment and per-mode tunables) — on
 ``experiment``/``sweep``/``resilience`` it overrides the grid.
 """
 
@@ -148,8 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "oracles (byte-identical results, or an error)")
     run.add_argument("--set", action="append", default=None,
                      metavar="KEY=VALUE", dest="overrides",
-                     help="prequal tunable override, repeatable (requires "
-                          "--mode prequal), e.g. --set pool_size=32")
+                     help="mode-config tunable override, repeatable "
+                          "(modes with tunables: prequal, splice; see "
+                          "`repro list`), e.g. --set pool_size=32")
     _add_jobs(run)
 
     trace = sub.add_parser(
@@ -303,7 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="MODE", dest="modes",
                             choices=[m.value for m in NotificationMode],
                             help="run only this mode (repeatable; default: "
-                                 "exclusive, reuseport, hermes, prequal)")
+                                 "exclusive, reuseport, hermes, prequal, "
+                                 "splice)")
     resilience.add_argument("--out", metavar="PATH", default=None,
                             help="also write the matrix as canonical JSON")
     resilience.add_argument("--set", action="append", default=None,
@@ -376,16 +379,21 @@ def _finish_check(monitors, stats) -> None:
 def _cmd_run(args) -> int:
     from .experiments.common import run_case_cell
 
+    from .lb.modes import get_mode, iter_modes
+
     mode = NotificationMode(args.mode)
-    prequal_config = None
+    mode_spec = get_mode(mode.value)
+    config_kwargs: Dict[str, Any] = {}
     if args.overrides:
-        if mode is not NotificationMode.PREQUAL:
-            print("error: --set tunables require --mode prequal",
+        if mode_spec.config_factory is None:
+            tunable_modes = ", ".join(
+                s.name for s in iter_modes() if s.config_factory is not None)
+            print(f"error: mode {mode.value!r} has no --set tunables "
+                  f"(modes with tunables: {tunable_modes})",
                   file=sys.stderr)
             return 1
-        from .prequal import config_from_overrides
         try:
-            prequal_config = config_from_overrides(
+            config_kwargs[mode_spec.config_kwarg] = mode_spec.config_factory(
                 _parse_overrides(args.overrides))
         except (argparse.ArgumentTypeError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -402,8 +410,7 @@ def _cmd_run(args) -> int:
                                    n_workers=args.workers,
                                    duration=args.duration, ports=ports,
                                    seed=args.seed, tracer=tracer,
-                                   env_hook=hook,
-                                   prequal_config=prequal_config)
+                                   env_hook=hook, **config_kwargs)
     except AssertionError as exc:
         if not args.check:
             raise
@@ -916,6 +923,7 @@ def _cmd_list_experiments(_args) -> int:
 
 def _cmd_list(args) -> int:
     from .experiments import registry
+    from .lb.modes import iter_modes
 
     if args.as_json:
         print(json.dumps([registry.describe(name) for name in EXPERIMENTS],
@@ -928,6 +936,15 @@ def _cmd_list(args) -> int:
         if info["tunables"]:
             print(f"{'':14s} tunables: "
                   + ", ".join(sorted(info["tunables"])))
+    print()
+    print("architectures (repro run --mode NAME):")
+    for spec in iter_modes():
+        print(f"{spec.name:20s} {spec.description}")
+        tunables = spec.tunables()
+        if tunables:
+            rendered = ", ".join(f"{key}={value}"
+                                 for key, value in sorted(tunables.items()))
+            print(f"{'':20s} --set tunables: {rendered}")
     return 0
 
 

@@ -1,0 +1,91 @@
+"""Shared ``--set KEY=VALUE`` coercion for mode configs.
+
+Every pluggable architecture exposes a frozen dataclass of tunables
+(:class:`~repro.prequal.config.PrequalConfig`,
+:class:`~repro.splice.config.SpliceConfig`, ...).  The CLI and the
+experiment registry both hand overrides around as plain mappings whose
+values may still be strings (``--set pool_size=32``); this module is the
+one place that turns those into a validated config instance.
+
+The rules, shared by every consumer:
+
+* unknown keys are rejected with a sorted, deterministic message;
+* string values are coerced to the field's *declared* type annotation
+  (``int`` / ``float`` / ``bool``); already-typed values pass through;
+* coercion happens in sorted key order so error behaviour is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Mapping, Type, TypeVar
+
+__all__ = ["coerce_value", "config_from_overrides", "field_types",
+           "tunable_values"]
+
+T = TypeVar("T")
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off")
+
+
+def field_types(cls: type) -> Dict[str, str]:
+    """Field name -> declared type *string* for a dataclass.
+
+    Annotations are compared as strings ("int", "float", ...) because the
+    config modules use ``from __future__ import annotations``, which keeps
+    every annotation unevaluated.
+    """
+    if not is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    return {f.name: (f.type if isinstance(f.type, str)
+                     else getattr(f.type, "__name__", str(f.type)))
+            for f in fields(cls)}
+
+
+def coerce_value(value: Any, declared_type: str) -> Any:
+    """Coerce a string CLI value to the field's declared type.
+
+    Non-string values (experiment override dicts carry typed values) pass
+    through untouched, as do fields declared ``str``.
+    """
+    if not isinstance(value, str) or declared_type == "str":
+        return value
+    if declared_type == "int":
+        return int(value)
+    if declared_type == "bool":
+        lowered = value.strip().lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+        raise ValueError(f"invalid bool literal: {value!r}")
+    return float(value)
+
+
+def config_from_overrides(cls: Type[T], overrides: Mapping[str, Any],
+                          label: str) -> T:
+    """Build ``cls(**overrides)`` from ``--set KEY=VALUE`` pairs.
+
+    ``label`` names the subsystem in error messages ("prequal",
+    "splice", ...).  Unknown keys are rejected; string values are coerced
+    to each field's declared type.  The dataclass's own ``__post_init__``
+    still runs, so range validation stays with the config.
+    """
+    types = field_types(cls)
+    unknown = sorted(set(overrides) - set(types))
+    if unknown:
+        raise ValueError(
+            f"unknown {label} tunable(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(types))}")
+    coerced = {}
+    for name in sorted(overrides):
+        coerced[name] = coerce_value(overrides[name], types[name])
+    return cls(**coerced)
+
+
+def tunable_values(config: Any) -> Dict[str, Any]:
+    """Field -> current value, for ``repro list`` and run summaries."""
+    if not is_dataclass(config):
+        raise TypeError(f"{config!r} is not a dataclass instance")
+    return {f.name: getattr(config, f.name) for f in fields(config)}

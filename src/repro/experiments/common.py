@@ -104,7 +104,8 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
              profile: Optional[ServiceProfile] = None,
              settle: float = 0.5,
              keep_server: bool = False,
-             env_hook=None, tracer=None, prequal_config=None) -> CellResult:
+             env_hook=None, tracer=None, prequal_config=None,
+             splice_config=None) -> CellResult:
     """Run one workload spec against a fresh device in the given mode.
 
     ``settle`` extends the simulation beyond the generation window so
@@ -120,7 +121,8 @@ def run_spec(mode: NotificationMode, spec: WorkloadSpec,
         ports=list(ports) if ports is not None else list(spec.ports),
         mode=mode, config=config, profile=profile,
         hash_seed=registry.stream("hash-seed").randrange(2 ** 32),
-        tracer=tracer, prequal_config=prequal_config)
+        tracer=tracer, prequal_config=prequal_config,
+        splice_config=splice_config)
     server.start()
     # The traffic stream is mode-independent: every mode replays the same
     # connections and requests.

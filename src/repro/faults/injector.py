@@ -227,11 +227,22 @@ class FaultInjector:
         # Client connections only: probe streams (negative tenant ids) die
         # with the worker but are re-pinned by their prober, so they are
         # not part of the blast radius.
+        #
+        # Blast radius is *affected connections*, not owned connections:
+        # a spliced flow (``conn.splice``, repro.splice) is forwarded
+        # kernel-side and keeps completing while its worker's wakeup path
+        # is stalled, so wakeup-centric faults (hang / slow / crash until
+        # detection) do not put it at risk.  Modes without a splice path
+        # have no spliced connections, so their accounting is unchanged.
         def clients(w) -> int:
             return sum(1 for conn in w.conns.values()
                        if conn.tenant_id >= 0)
 
-        return {"conns_at_risk": clients(worker),
+        def wakeup_dependent(w) -> int:
+            return sum(1 for conn in w.conns.values()
+                       if conn.tenant_id >= 0 and conn.splice is None)
+
+        return {"conns_at_risk": wakeup_dependent(worker),
                 "total_conns": sum(clients(w)
                                    for w in self.server.workers)}
 

@@ -50,13 +50,15 @@ __all__ = ["ResilienceCell", "ResilienceMatrix", "SCENARIOS",
            "render_matrix"]
 
 #: Modes compared in the matrix: the Table 3 trio plus PREQUAL, the
-#: probe-based latency balancer (``repro.prequal``) — the architectural
+#: probe-based latency balancer (``repro.prequal``), plus SPLICE, the
+#: in-kernel interposition datapath (``repro.splice``) — the architectural
 #: head-to-head the matrix exists for.
 RESILIENCE_MODES: Tuple[NotificationMode, ...] = (
     NotificationMode.EXCLUSIVE,
     NotificationMode.REUSEPORT,
     NotificationMode.HERMES,
     NotificationMode.PREQUAL,
+    NotificationMode.SPLICE,
 )
 
 #: Completions slower than this count as hung (well above the ~ms service

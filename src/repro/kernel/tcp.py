@@ -108,6 +108,10 @@ class Connection:
         self.requests_completed = 0
         #: Client closed its end; worker must observe and clean up.
         self.fin_pending = False
+        #: Kernel splice path (``repro.splice.SplicePath``); when set, data
+        #: and FIN/RST are routed to the splice engine instead of the fd's
+        #: epoll wake chain — the flow never wakes its worker again.
+        self.splice = None
 
     @property
     def port(self) -> int:
@@ -124,6 +128,11 @@ class Connection:
             raise ValueError(f"cannot deliver to {self.state.value} connection")
         request.arrival_time = now
         self.inbox.append(request)
+        if self.splice is not None:
+            # Spliced flow: the kernel forwards the payload itself; no
+            # readable event ever reaches the worker's epoll.
+            self.splice.on_deliver(request)
+            return
         if self.fd is not None:
             # Each request event is one readable unit (streamed chunks that
             # are already buffered in the kernel when the request lands).
@@ -134,6 +143,11 @@ class Connection:
         if self.state in (ConnState.CLOSED, ConnState.RESET, ConnState.REFUSED):
             return
         self.fin_pending = True
+        if self.splice is not None:
+            # Spliced flow: teardown is kernel-side too (unsplice after the
+            # lane drains) — the FIN does not wake the worker.
+            self.splice.on_client_close()
+            return
         if self.fd is not None:
             self.fd.push_hangup()
 
@@ -143,6 +157,10 @@ class Connection:
             return
         self.state = ConnState.RESET
         self.reset_reason = reason
+        if self.splice is not None:
+            # Detach from the splice engine (SOCKMAP delete); anything
+            # still on the kernel lane drains into the dropped ledger.
+            self.splice.on_reset()
         if self.fd is not None:
             self.fd.push_error()
 

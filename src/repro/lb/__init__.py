@@ -3,19 +3,27 @@
 from .backend import BackendPool, BackendServer
 from .dispatcher import DispatcherWorker
 from .metrics import DeviceMetrics, WorkerMetrics, stddev
+from .modes import (ArchitectureSpec, ModeOptions, get_mode, iter_modes,
+                    mode_names, register_mode)
 from .probes import ProbeReport, Prober
 from .server import LBServer, NotificationMode
 from .tenant import Tenant, TenantDirectory
 from .worker import HermesBinding, ServiceProfile, Worker, WorkerState
 
 __all__ = [
+    "ArchitectureSpec",
     "BackendPool",
     "BackendServer",
     "DeviceMetrics",
     "DispatcherWorker",
     "HermesBinding",
     "LBServer",
+    "ModeOptions",
     "NotificationMode",
+    "get_mode",
+    "iter_modes",
+    "mode_names",
+    "register_mode",
     "ProbeReport",
     "Prober",
     "ServiceProfile",

@@ -39,6 +39,9 @@ class WorkerMetrics:
         self.closed = 0
         self.requests_completed = 0
         self.events_processed = 0
+        #: Flows this worker handed to the kernel splice path
+        #: (``repro.splice``); 0 in every other mode.
+        self.flows_spliced = 0
         #: Per-event userspace processing times (Fig. 5a).
         self.event_processing_times = Samples(f"w{worker_id}.event_proc")
         #: Request latencies completed by this worker.
@@ -68,6 +71,9 @@ class DeviceMetrics:
         self.tenant_latencies: Dict[int, Samples] = {}
         self.requests_completed = 0
         self.requests_failed = 0
+        #: Requests completed on the kernel splice path (a subset of
+        #: ``requests_completed``; ``repro.splice`` only).
+        self.requests_spliced = 0
         self.connections_accepted = 0
         self.connections_refused = 0
 

@@ -12,6 +12,15 @@ I/O event notification mechanism under test:
 - ``HERMES`` — reuseport sockets plus the full closed loop: WST, cascading
   scheduler embedded in every worker, eBPF dispatch program attached to
   every port's reuseport group.
+- ``SPLICE`` — XLB-style in-kernel interposition: after the L7 parse a
+  flow is pinned in a SOCKMAP and forwarded kernel-side (no wakeup, no
+  userspace copy), dispatched by Charon-style load-aware weights.
+
+Mode wiring lives in the :mod:`repro.lb.modes` registry: each
+architecture registers an :class:`~repro.lb.modes.ArchitectureSpec`
+declaring its setup, tunables, and lifecycle hooks, and ``LBServer``
+resolves ``mode.value`` against it.  The ``_setup_*`` methods below are
+deprecated shims kept for source compatibility.
 
 Failure injection mirrors the paper's exception cases: :meth:`crash_worker`
 kills a process (sockets linger until :meth:`detect_and_clean_worker`, the
@@ -21,18 +30,20 @@ loop for a duration.
 
 from __future__ import annotations
 
+import warnings
 from enum import Enum
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import HermesConfig
-from ..core.groups import GroupedDispatchProgram, HermesGroup, build_groups
+from ..core.groups import HermesGroup
 from ..kernel.epoll import Epoll
 from ..kernel.nic import Nic
 from ..kernel.socket import ListeningSocket
 from ..kernel.tcp import Connection, NetStack, Request
 from ..sim.engine import Environment
 from .metrics import DeviceMetrics
-from .worker import HermesBinding, ServiceProfile, Worker
+from .modes import ModeOptions, get_mode
+from .worker import ServiceProfile, Worker
 
 __all__ = ["LBServer", "NotificationMode"]
 
@@ -50,16 +61,21 @@ class NotificationMode(Enum):
     #: sockets plus a dispatch program fed by a pool of async probe replies
     #: carrying RIF + estimated latency (``repro.prequal``).
     PREQUAL = "prequal"
+    #: XLB-style in-kernel interposition: SOCKMAP splice forwarding with
+    #: Charon load-aware dispatch weights (``repro.splice``).
+    SPLICE = "splice"
     #: The §2.2 userspace-dispatcher baseline: one dedicated worker
     #: accepts everything and hands off least-loaded.
     USERSPACE_DISPATCHER = "userspace_dispatcher"
 
     @property
+    def spec(self):
+        """This mode's :class:`~repro.lb.modes.ArchitectureSpec`."""
+        return get_mode(self.value)
+
+    @property
     def uses_shared_sockets(self) -> bool:
-        return self in (NotificationMode.HERD, NotificationMode.EXCLUSIVE,
-                        NotificationMode.EXCLUSIVE_RR,
-                        NotificationMode.IOURING_FIFO,
-                        NotificationMode.USERSPACE_DISPATCHER)
+        return self.spec.uses_shared_sockets
 
 
 class LBServer:
@@ -72,7 +88,8 @@ class LBServer:
                  hash_seed: int = 0, nic: Optional[Nic] = None,
                  group_key_mode: str = "four_tuple",
                  stagger_registration: bool = False,
-                 name: str = "lb", tracer=None, prequal_config=None):
+                 name: str = "lb", tracer=None, prequal_config=None,
+                 splice_config=None):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if not ports:
@@ -80,6 +97,10 @@ class LBServer:
         self.env = env
         self.name = name
         self.mode = mode
+        #: The registered :class:`~repro.lb.modes.ArchitectureSpec`.
+        self.mode_spec = get_mode(mode.value)
+        if self.mode_spec.validate is not None:
+            self.mode_spec.validate(n_workers, ports)
         self.ports = list(ports)
         self.config = config or HermesConfig()
         self.profile = profile or ServiceProfile()
@@ -96,13 +117,13 @@ class LBServer:
         self.dispatch_program = None
         #: :class:`repro.prequal.PrequalState` when mode is PREQUAL.
         self.prequal = None
+        #: :class:`repro.splice.SpliceState` when mode is SPLICE.
+        self.splice = None
         #: worker_id -> {port -> dedicated socket} (reuseport modes).
         self._worker_sockets: Dict[int, Dict[int, ListeningSocket]] = {}
 
         self.workers: List[Worker] = []
-        dispatcher_mode = mode is NotificationMode.USERSPACE_DISPATCHER
-        if dispatcher_mode and n_workers < 2:
-            raise ValueError("dispatcher mode needs >= 2 workers")
+        dispatcher_mode = self.mode_spec.uses_dispatcher_worker
         for worker_id in range(n_workers):
             epoll = Epoll(env, name=f"{name}.w{worker_id}",
                           worker_id=worker_id, tracer=tracer)
@@ -118,101 +139,55 @@ class LBServer:
                     profile=self.profile, config=self.config))
             self.workers[-1].tracer = tracer
 
-        if mode is NotificationMode.HERMES:
-            self._setup_hermes(group_key_mode)
-        elif mode is NotificationMode.PREQUAL:
-            self._setup_prequal(prequal_config)
-        elif mode is NotificationMode.REUSEPORT:
-            self._setup_reuseport()
-        elif dispatcher_mode:
-            self._setup_dispatcher()
-        else:
-            self._setup_shared(stagger_registration)
+        self.mode_spec.setup(self, ModeOptions(
+            group_key_mode=group_key_mode,
+            stagger_registration=stagger_registration,
+            prequal_config=prequal_config,
+            splice_config=splice_config))
 
-    # -- wiring --------------------------------------------------------------
+    # -- wiring (deprecated shims over repro.lb.modes) -------------------------
     def _setup_dispatcher(self) -> None:
-        """§2.2 baseline: only the dispatcher (worker 0) listens."""
-        dispatcher = self.workers[0]
-        dispatcher.backends = self.workers[1:]
-        for port in self.ports:
-            socket = self.stack.bind_shared(port)
-            dispatcher.add_listen_socket(socket)
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_dispatcher`."""
+        self._warn_setup_shim("_setup_dispatcher")
+        from .modes import setup_dispatcher
+        setup_dispatcher(self, ModeOptions())
 
     def _setup_shared(self, stagger: bool) -> None:
-        exclusive = self.mode is not NotificationMode.HERD
-        rotate = self.mode is NotificationMode.EXCLUSIVE_RR
-        insertion = ("tail" if self.mode is NotificationMode.IOURING_FIFO
-                     else "head")
-        n = len(self.workers)
-        for port_index, port in enumerate(self.ports):
-            socket = self.stack.bind_shared(port, rotate_on_wake=rotate,
-                                            waiter_insertion=insertion)
-            # Registration order controls which worker sits at the wait
-            # queue head (the LIFO winner).  Staggering rotates it per port
-            # — the failed mitigation discussed in §7.
-            offset = port_index % n if stagger else 0
-            for i in range(n):
-                worker = self.workers[(i + offset) % n]
-                worker.add_listen_socket(socket, exclusive=exclusive)
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_shared`."""
+        self._warn_setup_shim("_setup_shared")
+        from .modes import setup_shared
+        setup_shared(self, ModeOptions(stagger_registration=stagger))
 
     def _setup_reuseport(self) -> None:
-        for port in self.ports:
-            for worker in self.workers:
-                socket = self.stack.bind_reuseport(port, owner=worker)
-                worker.add_listen_socket(socket)
-                self._worker_sockets.setdefault(
-                    worker.worker_id, {})[port] = socket
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_reuseport`."""
+        self._warn_setup_shim("_setup_reuseport")
+        from .modes import setup_reuseport
+        setup_reuseport(self, ModeOptions())
 
     def _setup_hermes(self, group_key_mode: str) -> None:
-        clock = lambda: self.env.now  # noqa: E731 - tiny closure
-        capacity = (
-            [self.profile.max_connections] * len(self.workers)
-            if self.profile.max_connections is not None else None)
-        self.groups = build_groups(
-            len(self.workers), config=self.config, clock=clock,
-            capacity_limits=capacity)
-        # Per-group schedulers need the sim clock; build_groups wired it.
-        for group in self.groups:
-            group.scheduler.tracer = self.tracer
-            for rank, worker_id in enumerate(group.worker_ids):
-                self.workers[worker_id].hermes = HermesBinding(
-                    group=group, rank=rank)
-        if len(self.groups) == 1:
-            self.dispatch_program = self.groups[0].program
-        else:
-            self.dispatch_program = GroupedDispatchProgram(
-                self.groups, key_mode=group_key_mode)
-        # Reuseport sockets are bound in worker order for every port, so a
-        # worker's member-socket index equals its global worker id.
-        for port in self.ports:
-            for worker in self.workers:
-                socket = self.stack.bind_reuseport(port, owner=worker)
-                worker.add_listen_socket(socket)
-                self._worker_sockets.setdefault(
-                    worker.worker_id, {})[port] = socket
-            self.stack.group_for(port).attach_program(self.dispatch_program)
-        for group in self.groups:
-            for rank, worker_id in enumerate(group.worker_ids):
-                group.sock_map.install(rank, worker_id)
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_hermes`."""
+        self._warn_setup_shim("_setup_hermes")
+        from .modes import setup_hermes
+        setup_hermes(self, ModeOptions(group_key_mode=group_key_mode))
 
     def _setup_prequal(self, prequal_config) -> None:
-        """Reuseport sockets in worker order + the Prequal dispatch program
-        attached to every port's group — the same attachment point as the
-        Hermes eBPF program, with the probe pool in place of the WST."""
-        # Lazy import: repro.prequal builds on repro.lb.
-        from ..prequal import PrequalConfig, build_prequal
-        for port in self.ports:
-            for worker in self.workers:
-                socket = self.stack.bind_reuseport(port, owner=worker)
-                worker.add_listen_socket(socket)
-                self._worker_sockets.setdefault(
-                    worker.worker_id, {})[port] = socket
-        self.prequal = build_prequal(
-            self.env, self, prequal_config or PrequalConfig(),
-            tracer=self.tracer)
-        self.dispatch_program = self.prequal.program
-        for port in self.ports:
-            self.stack.group_for(port).attach_program(self.dispatch_program)
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_prequal`."""
+        self._warn_setup_shim("_setup_prequal")
+        from .modes import setup_prequal
+        setup_prequal(self, ModeOptions(prequal_config=prequal_config))
+
+    def _setup_splice(self, splice_config) -> None:
+        """Deprecated: wiring moved to :func:`repro.lb.modes.setup_splice`."""
+        self._warn_setup_shim("_setup_splice")
+        from .modes import setup_splice
+        setup_splice(self, ModeOptions(splice_config=splice_config))
+
+    @staticmethod
+    def _warn_setup_shim(name: str) -> None:
+        warnings.warn(
+            f"LBServer.{name} is deprecated; architectures are wired via "
+            f"the repro.lb.modes registry (ArchitectureSpec.setup)",
+            DeprecationWarning, stacklevel=3)
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -220,8 +195,8 @@ class LBServer:
         for worker in self.workers:
             worker.refresh_socket_accounting()
             worker.start()
-        if self.prequal is not None:
-            self.prequal.prober.start()
+        if self.mode_spec.on_start is not None:
+            self.mode_spec.on_start(self)
 
     @property
     def n_workers(self) -> int:
@@ -275,6 +250,12 @@ class LBServer:
             connection.reset("adoption refused: workers at capacity")
             self.metrics.connections_refused += 1
             return None
+        if connection.splice is not None:
+            # The flow was spliced in the failed instance's kernel; the
+            # re-steer detaches it there (late lane completions drop) and
+            # it arrives here as ordinary userspace traffic.
+            connection.splice.engine.abort(connection.splice)
+            connection.splice = None
         fd = connection.mark_accepted(worker, self.env.now)
         if self.tracer is not None:
             fd.wait_queue.tracer = self.tracer
@@ -361,18 +342,17 @@ class LBServer:
                 worker.epoll.ctl_del(socket)
             worker.listen_socks.discard(socket)
             worker._listen_flags.pop(socket, None)
-        if not self.mode.uses_shared_sockets:
+        if not self.mode_spec.uses_shared_sockets:
             new_index = None
             for port in self.ports:
                 socket = self.stack.bind_reuseport(port, owner=worker)
                 worker.add_listen_socket(socket)
                 self._worker_sockets.setdefault(worker_id, {})[port] = socket
                 new_index = self.stack.group_for(port).sockets.index(socket)
-            if worker.hermes is not None and new_index is not None:
-                binding = worker.hermes
-                binding.group.sock_map.install(binding.rank, new_index)
-            if self.prequal is not None and new_index is not None:
-                self.prequal.program.repoint(worker_id, new_index)
+            if self.mode_spec.on_restart is not None and new_index is not None:
+                # Repoint the mode's dispatch state (Hermes SOCKARRAY slot,
+                # prequal/splice program index) at the fresh socket.
+                self.mode_spec.on_restart(self, worker_id, new_index)
         worker.restart()
         if self.tracer is not None:
             self.tracer.instant("worker.restart", "worker", worker=worker_id)

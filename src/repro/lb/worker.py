@@ -28,7 +28,7 @@ from ..core.config import HermesConfig
 from ..core.groups import HermesGroup
 from ..kernel.epoll import Epoll, EpollEvent
 from ..kernel.socket import EPOLLERR, EPOLLHUP, ConnSocket, ListeningSocket
-from ..kernel.tcp import Connection, Request
+from ..kernel.tcp import Connection, ConnState, Request
 from ..sim.engine import Environment, Interrupt
 from .metrics import DeviceMetrics, WorkerMetrics
 
@@ -98,6 +98,9 @@ class Worker:
         self.profile = profile or ServiceProfile()
         self.config = config or HermesConfig()
         self.hermes = hermes
+        #: :class:`repro.splice.SpliceState` in SPLICE mode (set by the
+        #: mode's setup hook); None everywhere else.
+        self.splice = None
         #: Optional :class:`repro.obs.Tracer` (None = untraced).
         self.tracer = tracer
         self.state = WorkerState.RUNNING
@@ -355,6 +358,11 @@ class Worker:
 
     def _conn_handler(self, conn: Connection, fd: ConnSocket, mask: int):
         """``other_handler`` of Fig. 9: process request data, handle FIN."""
+        if conn.splice is not None:
+            # The kernel owns this flow (repro.splice): data and FIN are
+            # handled by the splice engine; any event reaching us here is
+            # stale readiness harvested before the splice installed.
+            return
         processed_any = True
         while processed_any:
             processed_any = False
@@ -366,6 +374,16 @@ class Worker:
         if fd.pending_events > 0 and self._next_request(conn) is None:
             # Defensive: counter drift — clear phantom readiness.
             fd.consume_readable(fd.pending_events)
+        if (self.splice is not None and conn.splice is None
+                and conn.state is ConnState.ACCEPTED
+                and not conn.fin_pending and not mask & EPOLLHUP
+                and conn.tenant_id >= 0
+                and conn.requests_completed >= self.splice.config.splice_after
+                and self._next_request(conn) is None):
+            # L7 handshake/parse done: hand the flow to the kernel splice
+            # path at a request boundary (XLB splices once routing is
+            # decided).  A capacity-full SOCKMAP leaves it on this path.
+            yield from self.splice.engine.splice_flow(conn, self)
         if (mask & EPOLLHUP or conn.fin_pending) and \
                 self._next_request(conn) is None:
             yield from self._close_conn(conn)

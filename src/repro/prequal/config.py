@@ -10,8 +10,10 @@ each field and summarized in ``docs/API.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
+
+from ..core import tunables as _tunables
 
 __all__ = ["PrequalConfig", "config_from_overrides"]
 
@@ -78,7 +80,7 @@ class PrequalConfig:
 
     def tunables(self) -> dict:
         """Field -> value, for ``repro list`` metadata and run summaries."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return _tunables.tunable_values(self)
 
 
 def config_from_overrides(overrides: Mapping[str, Any]) -> PrequalConfig:
@@ -86,17 +88,7 @@ def config_from_overrides(overrides: Mapping[str, Any]) -> PrequalConfig:
 
     String values (what the CLI hands over) are coerced to the field's
     declared type; typed values (experiment override dicts) pass through.
+    The shared coercion lives in :mod:`repro.core.tunables`.
     """
-    types = {f.name: f.type for f in fields(PrequalConfig)}
-    unknown = sorted(set(overrides) - set(types))
-    if unknown:
-        raise ValueError(
-            f"unknown prequal tunable(s) {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(types))}")
-    coerced = {}
-    for name in sorted(overrides):
-        value = overrides[name]
-        if isinstance(value, str) and types[name] != "str":
-            value = int(value) if types[name] == "int" else float(value)
-        coerced[name] = value
-    return PrequalConfig(**coerced)
+    return _tunables.config_from_overrides(PrequalConfig, overrides,
+                                           label="prequal")

@@ -1,0 +1,95 @@
+"""Charon-variant dispatch: load-aware weights, smooth weighted RR.
+
+Charon (PAPERS.md) programs the dataplane with small integer weights
+derived from backend load reports and spreads new connections with a
+weighted round-robin.  We attach the same policy at the kernel's
+``SO_ATTACH_REUSEPORT_EBPF`` hook (the :class:`SocketSelector` protocol):
+weights are recomputed from live per-worker connection counts at most
+every ``weight_refresh`` seconds — modelling the control-plane report
+interval, so the program *can* be stale, e.g. it keeps routing to a
+crashed-but-undetected worker — and the pick itself is nginx's smooth
+weighted round-robin, which is deterministic (no RNG draws: golden-hash
+safe) and interleaves choices instead of bursting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..kernel.reuseport import ReuseportContext
+from .config import SpliceConfig
+
+__all__ = ["CharonDispatchProgram"]
+
+
+class CharonDispatchProgram:
+    """Deterministic smooth-WRR selector with load-aware integer weights."""
+
+    def __init__(self, workers: Sequence, clock: Callable[[], float],
+                 config: SpliceConfig, tracer=None):
+        self.workers = workers
+        self.clock = clock
+        self.config = config
+        self.tracer = tracer
+        n = len(workers)
+        #: worker_id -> member-socket index in every port's group (bind
+        #: order is worker order, and restart rebinds keep every port's
+        #: group history identical, so one index serves all ports).
+        self._sock_index: List[int] = list(range(n))
+        #: Quantized load-aware weights (the dataplane's view).
+        self.weights: List[int] = [1] * n
+        #: Smooth-WRR running preference per worker.
+        self._current: List[int] = [0] * n
+        self._last_refresh = float("-inf")
+        # -- statistics ---------------------------------------------------
+        self.selections = 0
+        self.refreshes = 0
+
+    def repoint(self, worker_id: int, sock_index: int) -> None:
+        """A restarted worker bound a fresh socket: update its slot."""
+        self._sock_index[worker_id] = sock_index
+
+    def _refresh_weights(self, now: float) -> None:
+        """Recompute weights from reported load (connection counts).
+
+        Inverse-load weighting: the least-loaded worker gets
+        ``max_weight``; the most-loaded gets the floor weight 1.  Uses
+        only what a control plane would report — no liveness peeking, so
+        a dead worker keeps receiving flows until its load report ages
+        the weight down or failure detection tombstones its socket.
+        """
+        loads = [len(w.conns) for w in self.workers]
+        ceiling = max(loads) + 1
+        raw = [ceiling - load for load in loads]
+        top = max(raw)
+        self.weights = [max(1, round(r * self.config.max_weight / top))
+                        for r in raw]
+        self._last_refresh = now
+        self.refreshes += 1
+
+    def run(self, ctx: ReuseportContext):
+        """``SocketSelector`` hook: pick a member-socket index."""
+        now = self.clock()
+        if now - self._last_refresh >= self.config.weight_refresh:
+            self._refresh_weights(now)
+        # Nginx's smooth weighted round-robin: bump every candidate by its
+        # weight, take the max, then pull the winner back by the total.
+        current, weights = self._current, self.weights
+        total = 0
+        best = 0
+        for i, w in enumerate(weights):
+            current[i] += w
+            total += w
+            if current[i] > current[best]:
+                best = i
+        current[best] -= total
+        self.selections += 1
+        if self.tracer is not None:
+            self.tracer.instant("splice.dispatch", "splice", worker=best,
+                                weight=weights[best])
+        return self._sock_index[best]
+
+    def stats(self) -> dict:
+        return {"selections": self.selections,
+                "refreshes": self.refreshes,
+                "weights": list(self.weights)}

@@ -1,0 +1,63 @@
+"""A capacity-limited SOCKMAP model.
+
+XLB pins spliced flows in a ``BPF_MAP_TYPE_SOCKHASH``; the map's size is
+fixed at load time, so a proxy can only keep that many flows on the
+kernel path — the rest fall back to the userspace datapath.  We model
+exactly that contract: bounded inserts keyed by connection id, with
+counters the invariant monitor and ``repro list`` stats read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SockMap"]
+
+
+class SockMap:
+    """Connection-id -> worker-id map with a hard capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("sockmap capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, int] = {}
+        self.installs = 0
+        self.removals = 0
+        self.capacity_misses = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, conn_id: int) -> bool:
+        return conn_id in self._entries
+
+    def install(self, conn_id: int, worker_id: int) -> bool:
+        """Insert an entry; False (a capacity miss) when the map is full."""
+        if conn_id in self._entries:
+            raise ValueError(f"conn {conn_id} already spliced")
+        if len(self._entries) >= self.capacity:
+            self.capacity_misses += 1
+            return False
+        self._entries[conn_id] = worker_id
+        self.installs += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return True
+
+    def remove(self, conn_id: int) -> None:
+        if conn_id in self._entries:
+            del self._entries[conn_id]
+            self.removals += 1
+
+    def owner(self, conn_id: int) -> int:
+        return self._entries[conn_id]
+
+    def stats(self) -> dict:
+        return {"occupancy": len(self._entries),
+                "capacity": self.capacity,
+                "installs": self.installs,
+                "removals": self.removals,
+                "capacity_misses": self.capacity_misses,
+                "peak_occupancy": self.peak_occupancy}

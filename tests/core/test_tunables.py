@@ -1,0 +1,94 @@
+"""The shared --set coercion helper every mode config builds on."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.tunables import (coerce_value, config_from_overrides,
+                                 field_types, tunable_values)
+from repro.prequal import PrequalConfig
+from repro.splice import SpliceConfig
+
+
+@dataclass(frozen=True)
+class _Sample:
+    count: int = 3
+    rate: float = 1.5
+    label: str = "x"
+    enabled: bool = True
+
+
+class TestFieldTypes:
+    def test_declared_types_as_strings(self):
+        assert field_types(_Sample) == {
+            "count": "int", "rate": "float", "label": "str",
+            "enabled": "bool"}
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            field_types(dict)
+
+
+class TestCoerceValue:
+    def test_string_to_int_float_bool(self):
+        assert coerce_value("32", "int") == 32
+        assert coerce_value("0.25", "float") == 0.25
+        assert coerce_value("true", "bool") is True
+        assert coerce_value("off", "bool") is False
+
+    def test_typed_values_pass_through(self):
+        assert coerce_value(32, "int") == 32
+        assert coerce_value(0.25, "float") == 0.25
+        assert coerce_value(False, "bool") is False
+
+    def test_str_fields_never_coerce(self):
+        assert coerce_value("123", "str") == "123"
+
+    def test_bad_bool_literal_raises(self):
+        with pytest.raises(ValueError):
+            coerce_value("maybe", "bool")
+
+
+class TestConfigFromOverrides:
+    def test_builds_with_coerced_strings(self):
+        sample = config_from_overrides(
+            _Sample, {"count": "7", "rate": "2.5", "enabled": "no"},
+            label="sample")
+        assert sample == _Sample(count=7, rate=2.5, enabled=False)
+
+    def test_unknown_keys_rejected_sorted(self):
+        with pytest.raises(ValueError, match="unknown sample tunable"):
+            config_from_overrides(_Sample, {"zz": 1, "aa": 2},
+                                  label="sample")
+        try:
+            config_from_overrides(_Sample, {"zz": 1, "aa": 2},
+                                  label="sample")
+        except ValueError as exc:
+            assert "aa, zz" in str(exc)  # sorted, deterministic
+
+    def test_post_init_validation_still_runs(self):
+        with pytest.raises(ValueError):
+            config_from_overrides(SpliceConfig, {"splice_after": "0"},
+                                  label="splice")
+
+    def test_prequal_and_splice_consume_it(self):
+        prequal = PrequalConfig.__module__ and __import__(
+            "repro.prequal.config", fromlist=["config_from_overrides"])
+        assert prequal.config_from_overrides(
+            {"pool_size": "8"}).pool_size == 8
+        splice = __import__("repro.splice.config",
+                            fromlist=["config_from_overrides"])
+        assert splice.config_from_overrides(
+            {"sockmap_capacity": "64"}).sockmap_capacity == 64
+
+
+class TestTunableValues:
+    def test_round_trips_config_fields(self):
+        values = tunable_values(SpliceConfig())
+        assert values["splice_after"] == 1
+        assert values["sockmap_capacity"] == 1024
+        assert SpliceConfig(**values) == SpliceConfig()
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            tunable_values({"not": "a dataclass"})

@@ -101,7 +101,82 @@ class TestCellShape:
                                   "slow_worker", "nic_loss"}
         assert RESILIENCE_MODES == (
             NotificationMode.EXCLUSIVE, NotificationMode.REUSEPORT,
-            NotificationMode.HERMES, NotificationMode.PREQUAL)
+            NotificationMode.HERMES, NotificationMode.PREQUAL,
+            NotificationMode.SPLICE)
+
+
+class TestBlastStats:
+    """Unit coverage of the affected-connections accounting: spliced
+    flows are kernel-forwarded, so wakeup-centric faults do not put them
+    at risk — they leave ``conns_at_risk`` but stay in ``total_conns``."""
+
+    @staticmethod
+    def _fake_conn(tenant_id=0, spliced=False):
+        from types import SimpleNamespace
+        return SimpleNamespace(tenant_id=tenant_id,
+                               splice=object() if spliced else None)
+
+    def _stats(self, victim_conns, other_conns):
+        from types import SimpleNamespace
+        victim = SimpleNamespace(conns=dict(enumerate(victim_conns)))
+        other = SimpleNamespace(conns=dict(enumerate(other_conns)))
+        server = SimpleNamespace(workers=[victim, other], tracer=None)
+        injector = FaultInjector(Environment(), server, FaultPlan())
+        return injector._blast_stats(victim)
+
+    def test_spliced_conns_excluded_from_risk_but_counted(self):
+        stats = self._stats(
+            victim_conns=[self._fake_conn(), self._fake_conn(spliced=True),
+                          self._fake_conn(spliced=True)],
+            other_conns=[self._fake_conn()])
+        assert stats["conns_at_risk"] == 1
+        assert stats["total_conns"] == 4
+
+    def test_probe_conns_are_infrastructure(self):
+        stats = self._stats(
+            victim_conns=[self._fake_conn(), self._fake_conn(tenant_id=-1)],
+            other_conns=[self._fake_conn(tenant_id=-2)])
+        assert stats["conns_at_risk"] == 1
+        assert stats["total_conns"] == 1
+
+
+class TestBlastRegression:
+    """Pins the seed-7 blast numbers so the spliced-flow exclusion in
+    ``FaultInjector._blast_stats`` cannot silently shift the headline
+    hermes-vs-exclusive story (modes without a splice path must be
+    byte-for-byte unaffected by the accounting change)."""
+
+    def test_hang_blast_values_pinned(self):
+        exclusive = run_resilience_cell("worker_hang",
+                                        NotificationMode.EXCLUSIVE, seed=7)
+        hermes = run_resilience_cell("worker_hang",
+                                     NotificationMode.HERMES, seed=7)
+        assert exclusive.blast_radius == pytest.approx(0.878205, abs=1e-6)
+        assert hermes.blast_radius == pytest.approx(0.166667, abs=1e-6)
+
+    def test_crash_blast_values_pinned(self):
+        exclusive = run_resilience_cell("worker_crash",
+                                        NotificationMode.EXCLUSIVE, seed=7)
+        hermes = run_resilience_cell("worker_crash",
+                                     NotificationMode.HERMES, seed=7)
+        assert exclusive.blast_radius == pytest.approx(0.857143, abs=1e-6)
+        assert hermes.blast_radius == pytest.approx(0.160173, abs=1e-6)
+
+    def test_splice_showdown(self):
+        # The modeled asymmetry: every at-risk connection on the hung
+        # worker had already spliced, so the kernel keeps forwarding and
+        # the blast radius is zero; detection still costs failures on a
+        # crash, just fewer than a wakeup-dependent architecture.
+        hang = run_resilience_cell("worker_hang",
+                                   NotificationMode.SPLICE, seed=7)
+        crash = run_resilience_cell("worker_crash",
+                                    NotificationMode.SPLICE, seed=7)
+        assert hang.blast_radius == 0.0
+        assert hang.hung_requests == 30
+        assert crash.failed == 28
+        hermes_hang = run_resilience_cell("worker_hang",
+                                          NotificationMode.HERMES, seed=7)
+        assert hang.hung_requests < hermes_hang.hung_requests
 
 
 class TestPaperDirection:

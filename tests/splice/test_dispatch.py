@@ -1,0 +1,91 @@
+"""Charon dispatch: smooth WRR, load-aware weights, repoint, no RNG."""
+
+from repro.splice import CharonDispatchProgram, SpliceConfig
+
+
+class _FakeWorker:
+    def __init__(self, n_conns=0):
+        self.conns = {i: object() for i in range(n_conns)}
+
+
+class _Ctx:
+    """Minimal stand-in for ReuseportContext (the program ignores it)."""
+
+
+def make_program(loads, clock=lambda: 0.0, **config_kwargs):
+    workers = [_FakeWorker(n) for n in loads]
+    return CharonDispatchProgram(workers, clock=clock,
+                                 config=SpliceConfig(**config_kwargs))
+
+
+class TestSmoothWrr:
+    def test_equal_weights_round_robin(self):
+        program = make_program([0, 0, 0, 0])
+        picks = [program.run(_Ctx()) for _ in range(8)]
+        # Smooth WRR with equal weights cycles through every member.
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert program.selections == 8
+
+    def test_weighted_picks_interleave(self):
+        program = make_program([0, 0], max_weight=3)
+        # Pin weights directly: worker0 weight 3, worker1 weight 1.
+        program.weights = [3, 1]
+        program._last_refresh = float("inf")  # freeze the refresh
+        picks = [program.run(_Ctx()) for _ in range(4)]
+        assert sorted(picks) == [0, 0, 0, 1]
+        # Smooth WRR interleaves rather than bursting all of worker0 first.
+        assert picks != [0, 0, 0, 1]
+
+    def test_deterministic_replay(self):
+        def run_once():
+            program = make_program([3, 1, 0, 2])
+            return [program.run(_Ctx()) for _ in range(32)]
+
+        assert run_once() == run_once()
+
+
+class TestWeights:
+    def test_inverse_load_weighting(self):
+        program = make_program([0, 5, 10], max_weight=16)
+        program.run(_Ctx())  # triggers the first refresh
+        weights = program.weights
+        # Least loaded gets the ceiling, most loaded the floor.
+        assert weights[0] == 16
+        assert weights[2] == 1
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_refresh_is_rate_limited(self):
+        now = [0.0]
+        program = make_program([0, 0], clock=lambda: now[0],
+                               weight_refresh=0.01)
+        for _ in range(10):
+            program.run(_Ctx())
+        assert program.refreshes == 1  # clock never advanced
+        now[0] = 0.02
+        program.run(_Ctx())
+        assert program.refreshes == 2
+
+    def test_no_liveness_peeking(self):
+        # Weights derive from conn counts only: a dead-but-undetected
+        # worker with few conns still gets a high weight (dataplane
+        # honesty — Charon cannot see liveness, only load reports).
+        program = make_program([8, 0], max_weight=4)
+        program.run(_Ctx())
+        assert program.weights[1] == 4
+
+
+class TestRepoint:
+    def test_restart_updates_socket_index(self):
+        program = make_program([0, 0, 0])
+        assert program.run(_Ctx()) == 0
+        program.repoint(1, 7)  # worker 1 rebound at member index 7
+        assert program.run(_Ctx()) == 7
+        assert program.run(_Ctx()) == 2
+
+    def test_stats_shape(self):
+        program = make_program([0, 0])
+        program.run(_Ctx())
+        stats = program.stats()
+        assert stats["selections"] == 1
+        assert stats["refreshes"] == 1
+        assert len(stats["weights"]) == 2

@@ -1,0 +1,99 @@
+"""Faults against the splice datapath: the resilience asymmetry.
+
+A spliced flow is forwarded kernel-side on the owning core, so a hung (or
+crashed-but-undetected) worker process keeps forwarding; only failure
+*detection* resets spliced flows.  Restart repoints the Charon program at
+the worker's fresh socket, like hermes's SOCKARRAY repoint.
+"""
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.lb import LBServer, NotificationMode
+from repro.obs import Tracer
+from repro.sim import Environment, RngRegistry
+from repro.workloads import FixedFactory, TrafficGenerator, WorkloadSpec
+
+
+def run_faulted(plan, seed=7, n_workers=4, duration=2.0, conn_rate=200.0,
+                requests_per_conn=10, request_gap_mean=0.1):
+    env = Environment()
+    registry = RngRegistry(seed)
+    tracer = Tracer(env)
+    server = LBServer(env, n_workers=n_workers, ports=[443],
+                      mode=NotificationMode.SPLICE,
+                      hash_seed=registry.stream("hash").randrange(2 ** 32),
+                      tracer=tracer)
+    server.start()
+    spec = WorkloadSpec(name="splice_faults", conn_rate=conn_rate,
+                        duration=duration, factory=FixedFactory((300e-6,)),
+                        ports=(443,), requests_per_conn=requests_per_conn,
+                        request_gap_mean=request_gap_mean,
+                        reconnect_on_reset=True)
+    gen = TrafficGenerator(env, server, registry.stream("traffic"), spec)
+    injector = FaultInjector(env, server, plan,
+                             registry=registry.fork("faults"),
+                             tracer=tracer).arm()
+    gen.start()
+    env.run(until=duration + 1.0)
+    return server, tracer, injector
+
+
+class TestHang:
+    def test_hung_worker_keeps_forwarding_spliced_flows(self):
+        # Hang the busiest worker for 0.4s: its spliced flows live on the
+        # kernel lane, which does not care that the process is stalled.
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_HANG, at=1.0, duration=0.4,
+                      target="busiest"),
+        ), seed=11)
+        server, tracer, injector = run_faulted(plan)
+        fire = next(r for r in injector.log if r["event"] == "fire")
+        victim = fire["worker"]
+        in_window = [
+            e for e in tracer.events
+            if e.name == "request.complete" and e.cat == "splice"
+            and e.worker == victim and 1.0 <= e.ts < 1.4]
+        assert in_window, "kernel lane stalled with the worker process"
+        assert server.splice.engine.conserved()
+
+    def test_blast_excludes_spliced_connections(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_HANG, at=1.0, duration=0.4,
+                      target="busiest"),
+        ), seed=11)
+        _, _, injector = run_faulted(plan)
+        fire = next(r for r in injector.log if r["event"] == "fire")
+        victim_conns = fire["conns_at_risk"]
+        # With 10-request connections nearly everything splices, so the
+        # wakeup-dependent population on the victim is tiny.
+        assert fire["total_conns"] > 0
+        assert victim_conns < fire["total_conns"] * 0.25
+
+
+class TestCrashAndRestart:
+    PLAN = FaultPlan(faults=(
+        FaultSpec(kind=FaultKind.WORKER_CRASH, at=1.0, target="busiest",
+                  detect_delay=0.2, restart_after=0.5),
+    ), seed=12)
+
+    def test_detection_aborts_spliced_flows_and_ledger_balances(self):
+        server, _, injector = run_faulted(self.PLAN)
+        engine = server.splice.engine
+        assert injector.faults_cleared >= 1
+        # Detection reset the victim's flows: aborts happened, late lane
+        # completions drained into the dropped ledger, nothing leaked.
+        assert engine.flows_aborted > 0
+        assert engine.conserved()
+        assert engine.requests_in_flight == 0
+
+    def test_restart_repoints_the_charon_program(self):
+        server, _, injector = run_faulted(self.PLAN)
+        fire = next(r for r in injector.log if r["event"] == "fire")
+        victim = fire["worker"]
+        program = server.splice.program
+        # The fresh socket landed at a new member index past the original
+        # one-per-worker layout, and the program follows it.
+        assert program._sock_index[victim] >= len(server.workers)
+        assert server.workers[victim].is_alive
+        # The restarted worker serves again: new flows land on it.
+        assert server.metrics.summary()["failed"] > 0  # the crash cost
+        assert server.splice.engine.conserved()

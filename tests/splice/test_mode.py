@@ -1,0 +1,138 @@
+"""SPLICE as a device mode: wiring, lifecycle, determinism, invariants."""
+
+from repro.check import watch
+from repro.lb import LBServer, NotificationMode
+from repro.obs import Tracer
+from repro.sim import Environment, RngRegistry
+from repro.splice import SpliceConfig
+from repro.workloads import FixedFactory, TrafficGenerator, WorkloadSpec
+
+
+def run_device(seed=7, config=None, n_workers=4, duration=1.0,
+               conn_rate=300.0, requests_per_conn=6, size_bytes=2048,
+               trace=False, monitor=False):
+    env = Environment()
+    registry = RngRegistry(seed)
+    tracer = Tracer(env) if trace else None
+    server = LBServer(env, n_workers=n_workers, ports=[443],
+                      mode=NotificationMode.SPLICE,
+                      hash_seed=registry.stream("hash").randrange(2 ** 32),
+                      splice_config=config, tracer=tracer)
+    server.start()
+    spec = WorkloadSpec(name="splice_mode", conn_rate=conn_rate,
+                        duration=duration,
+                        factory=FixedFactory((200e-6,),
+                                             size_bytes=size_bytes),
+                        ports=(443,), requests_per_conn=requests_per_conn,
+                        request_gap_mean=0.01)
+    TrafficGenerator(env, server, registry.stream("traffic"), spec).start()
+    mon = watch(server) if monitor else None
+    env.run(until=duration + 0.5)
+    if mon is not None:
+        mon.finalize()
+    return server, tracer
+
+
+class TestWiring:
+    def test_mode_builds_and_serves(self):
+        server, _ = run_device()
+        summary = server.metrics.summary()
+        assert summary["completed"] > 500
+        assert summary["failed"] == 0
+        stats = server.splice.stats()
+        assert stats["flows_spliced"] > 0
+        assert stats["requests_forwarded"] > 0
+        assert stats["dispatch_selections"] > 0
+
+    def test_custom_config_reaches_the_engine(self):
+        config = SpliceConfig(splice_after=3, sockmap_capacity=32)
+        server, _ = run_device(config=config)
+        assert server.splice.config.splice_after == 3
+        assert server.splice.sockmap.capacity == 32
+        # Splicing after 3 parsed requests still engages on 6-req conns.
+        assert server.splice.engine.flows_spliced > 0
+
+    def test_every_worker_sees_the_splice_state(self):
+        server, _ = run_device(duration=0.2, conn_rate=50.0)
+        assert all(worker.splice is server.splice
+                   for worker in server.workers)
+
+    def test_spliced_fd_leaves_the_epoll_set(self):
+        server, _ = run_device()
+        for worker in server.workers:
+            for fd, conn in worker.conns.items():
+                if conn.splice is not None:
+                    assert not worker.epoll.watches(fd)
+
+
+class TestLifecycle:
+    def test_ledger_conserved_and_flows_drain(self):
+        server, _ = run_device()
+        engine = server.splice.engine
+        assert engine.conserved()
+        assert engine.requests_in_flight == 0
+        # Every spliced flow eventually tore down or aborted.
+        assert engine.flows_spliced \
+            == engine.flows_torn_down + engine.flows_aborted
+        assert len(server.splice.sockmap) == 0
+
+    def test_forwarded_requests_skip_userspace(self):
+        server, _ = run_device()
+        engine = server.splice.engine
+        # Kernel lanes burned CPU; the device counted spliced completions.
+        assert engine.kernel_busy_seconds() > 0
+        assert server.metrics.requests_spliced \
+            == engine.requests_forwarded
+        per_worker = sum(metrics.flows_spliced
+                         for metrics in server.metrics.workers.values())
+        assert per_worker == engine.flows_spliced
+
+    def test_single_request_connections_never_splice(self):
+        # FIN races the first parse: there is nothing left to forward, so
+        # splicing a 1-request connection would be pure setup-cost waste.
+        server, _ = run_device(requests_per_conn=1)
+        assert server.splice.engine.flows_spliced == 0
+        assert server.metrics.summary()["failed"] == 0
+
+    def test_capacity_limit_bounds_concurrent_splices(self):
+        config = SpliceConfig(sockmap_capacity=8)
+        server, _ = run_device(config=config, conn_rate=400.0)
+        sockmap = server.splice.sockmap
+        assert sockmap.peak_occupancy <= 8
+        assert sockmap.capacity_misses > 0
+        # Starved flows stay on the userspace path; nothing fails.
+        assert server.metrics.summary()["failed"] == 0
+
+
+class TestInvariants:
+    def test_monitored_run_passes_splice_ledger_checks(self):
+        server, _ = run_device(monitor=True)
+        assert server.splice.engine.conserved()
+
+
+class TestTraces:
+    def test_install_forward_and_teardown_events(self):
+        server, tracer = run_device(trace=True)
+        names = {event.name for event in tracer.events}
+        assert "splice.install" in names
+        assert "splice.dispatch" in names
+        completes = [e for e in tracer.events
+                     if e.name == "request.complete"
+                     and e.cat == "splice"]
+        assert len(completes) == server.splice.engine.requests_forwarded
+        assert all("latency" in e.fields for e in completes)
+
+
+class TestDeterminism:
+    def test_run_twice_is_identical(self):
+        def once():
+            server, _ = run_device(seed=13)
+            return (server.metrics.summary(), server.splice.stats(),
+                    tuple(len(w.conns) for w in server.workers))
+
+        assert once() == once()
+
+    def test_seeds_differ(self):
+        first, _ = run_device(seed=13)
+        second, _ = run_device(seed=14)
+        assert first.splice.stats() != second.splice.stats()

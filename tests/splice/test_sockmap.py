@@ -1,0 +1,56 @@
+"""The capacity-limited SOCKMAP model."""
+
+import pytest
+
+from repro.splice import SockMap
+
+
+class TestSockMap:
+    def test_install_remove_owner(self):
+        sockmap = SockMap(capacity=4)
+        assert sockmap.install(10, worker_id=1)
+        assert sockmap.install(11, worker_id=2)
+        assert len(sockmap) == 2
+        assert 10 in sockmap
+        assert sockmap.owner(10) == 1
+        sockmap.remove(10)
+        assert 10 not in sockmap
+        assert sockmap.removals == 1
+
+    def test_capacity_miss_counted_not_raised(self):
+        sockmap = SockMap(capacity=1)
+        assert sockmap.install(1, worker_id=0)
+        assert not sockmap.install(2, worker_id=0)
+        assert sockmap.capacity_misses == 1
+        assert len(sockmap) == 1
+        # Freeing a slot makes the next install viable again.
+        sockmap.remove(1)
+        assert sockmap.install(2, worker_id=0)
+
+    def test_duplicate_install_raises(self):
+        sockmap = SockMap(capacity=4)
+        sockmap.install(7, worker_id=0)
+        with pytest.raises(ValueError):
+            sockmap.install(7, worker_id=1)
+
+    def test_peak_occupancy_tracks_high_water_mark(self):
+        sockmap = SockMap(capacity=8)
+        for conn_id in range(5):
+            sockmap.install(conn_id, worker_id=0)
+        for conn_id in range(5):
+            sockmap.remove(conn_id)
+        assert len(sockmap) == 0
+        assert sockmap.peak_occupancy == 5
+        stats = sockmap.stats()
+        assert stats["installs"] == 5
+        assert stats["removals"] == 5
+        assert stats["occupancy"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SockMap(capacity=0)
+
+    def test_remove_absent_is_a_noop(self):
+        sockmap = SockMap(capacity=2)
+        sockmap.remove(99)
+        assert sockmap.removals == 0

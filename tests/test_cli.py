@@ -211,7 +211,7 @@ class TestCommands:
         document = json.loads(path.read_text())
         assert document["seed"] == 7
         assert {c["mode"] for c in document["cells"]} \
-            == {"exclusive", "reuseport", "hermes", "prequal"}
+            == {"exclusive", "reuseport", "hermes", "prequal", "splice"}
 
     def test_resilience_unknown_scenario_errors(self, capsys):
         rc = main(["resilience", "--scenario", "meteor"])
