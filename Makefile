@@ -1,7 +1,7 @@
 # Convenience targets for the Hermes reproduction.
 
 .PHONY: install test bench perf perf-check sweep-check check prequal \
-    splice fleet examples experiments clean
+    splice fleet fuzz examples experiments clean
 
 install:
 	pip install -e .
@@ -109,6 +109,25 @@ fleet:
 	cmp fleet.serial.json fleet.parallel.json
 	@echo "fleet_scale sweep is byte-identical to serial"
 
+# The fuzz gate (what the CI fuzz-smoke job runs): a seeded campaign
+# twice to prove byte-determinism, then the planted-bug self-test — the
+# corrupt-bitmap drill must be found, shrunk to a verified minimal
+# reproducer, and registered as a regression scenario.
+fuzz:
+	PYTHONPATH=src python -m repro fuzz --budget 6 --seed 7 \
+	    --no-shrink --out fuzz.a.json
+	PYTHONPATH=src python -m repro fuzz --budget 6 --seed 7 \
+	    --no-shrink --out fuzz.b.json
+	cmp fuzz.a.json fuzz.b.json
+	@echo "seeded fuzz report is byte-identical across runs"
+	PYTHONPATH=src python -m repro fuzz --budget 1 --seed 11 \
+	    --mode hermes --family diurnal --fleet-fraction 0 \
+	    --drill corrupt_bitmap --regressions fuzz-regressions \
+	    --out fuzz.drill.json; test $$? -eq 1
+	PYTHONPATH=src python -m repro experiment fuzz_regressions \
+	    --set dir=fuzz-regressions
+	@echo "planted bug found, shrunk, and registered as a regression"
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
 
@@ -118,5 +137,6 @@ experiments:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
 	    benchmarks/results .benchmarks .sweep-cache sweep.*.json \
-	    prequal.*.json fleet.*.json splice.*.json showdown.json
+	    prequal.*.json fleet.*.json splice.*.json showdown.json \
+	    fuzz.*.json fuzz-regressions
 	find . -name __pycache__ -type d -exec rm -rf {} +

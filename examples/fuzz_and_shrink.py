@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The fuzzing loop end to end: seeded campaign, planted bug, shrink,
+regression registration.
+
+Three acts:
+
+1. A small seeded fuzz campaign over (workload family × fault plan ×
+   mode × fleet size) with every defence armed — invariant monitors,
+   live differential oracles, the PCC monitor on fleet scenarios.  On a
+   healthy tree it finds nothing, and the report is byte-deterministic:
+   the same seed always produces the same scenarios and the same
+   document.
+2. The self-test: plant a deliberate bug (the corrupt-bitmap drill from
+   ``repro.check``) and fuzz again.  The bitmap↔WST invariant trips;
+   the shrinker reduces the failing scenario to a minimal reproducer
+   and double-runs it to verify it re-fails byte-identically.
+3. The find registers as a named regression scenario, replayable any
+   time via the ``fuzz_regressions`` experiment.
+
+Run:  python examples/fuzz_and_shrink.py
+"""
+
+import json
+import shutil
+import tempfile
+
+from repro.experiments import registry
+from repro.fuzz import run_fuzz
+
+SEED = 7
+REGRESSIONS = tempfile.mkdtemp(prefix="fuzz-regressions-")
+
+
+def act1_clean_campaign():
+    print("=== Act 1: seeded campaign on the healthy tree ===")
+    report = run_fuzz(budget=4, seed=SEED, shrink=False, progress=print)
+    again = run_fuzz(budget=4, seed=SEED, shrink=False)
+    identical = (json.dumps(report.document(), sort_keys=True)
+                 == json.dumps(again.document(), sort_keys=True))
+    print(f"violations: {len(report.violations)}   "
+          f"re-run byte-identical: {identical}\n")
+
+
+def act2_planted_bug():
+    print("=== Act 2: plant the corrupt-bitmap drill and fuzz ===")
+    report = run_fuzz(budget=1, seed=11, modes=["hermes"],
+                      families=["diurnal"], fleet_fraction=0.0,
+                      drill="corrupt_bitmap",
+                      regressions_dir=REGRESSIONS, progress=print)
+    find = report.finds[0]
+    scenario = find["scenario"]
+    print(f"find {find['name']}: {find['signature'][0]}/"
+          f"{find['signature'][1]}")
+    print(f"  shrunk to n_workers={scenario['n_workers']}, "
+          f"{len(scenario['plan']['faults'])} fault(s), "
+          f"rate={scenario['rate']} "
+          f"in {find['evaluations']} evaluations")
+    print(f"  re-fails deterministically: {find['verified']}\n")
+
+
+def act3_regression_replay():
+    print("=== Act 3: replay the registered regression scenario ===")
+    spec = registry.get("fuzz_regressions")
+    cells = spec.cells(SEED, {"dir": REGRESSIONS})
+    docs = [spec.run_cell(cell) for cell in cells]
+    print(spec.render(spec.merge(cells, docs)))
+
+
+def main():
+    try:
+        act1_clean_campaign()
+        act2_planted_bug()
+        act3_regression_replay()
+    finally:
+        shutil.rmtree(REGRESSIONS, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -347,6 +347,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "src/repro/check/allowlist.txt)")
     check.add_argument("--seed", type=int, default=7,
                        help="seed for the monitored Table 3 scenario")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="adversarial scenario fuzzing: seeded (workload x "
+                     "faults x mode x fleet) scenarios under full "
+                     "invariant/oracle monitoring, with shrinking")
+    fuzz.add_argument("--budget", type=_positive_int, default=20,
+                      help="number of scenarios to draw and run")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="campaign seed (same seed => same scenarios "
+                           "and byte-identical report)")
+    _add_jobs(fuzz)
+    fuzz.add_argument("--shrink", action="store_true", default=True,
+                      dest="shrink", help="shrink violations to minimal "
+                                          "reproducers (default)")
+    fuzz.add_argument("--no-shrink", action="store_false", dest="shrink",
+                      help="report violations without shrinking")
+    fuzz.add_argument("--out", metavar="PATH", default=None,
+                      help="write the canonical campaign report to PATH")
+    fuzz.add_argument("--mode", action="append", default=None,
+                      dest="modes", metavar="NAME",
+                      help="restrict to these architecture modes "
+                           "(repeatable)")
+    fuzz.add_argument("--family", action="append", default=None,
+                      dest="families", metavar="NAME",
+                      help="restrict to these workload families "
+                           "(repeatable)")
+    fuzz.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="memoize scenario runs through the sweep cell "
+                           "cache at DIR")
+    fuzz.add_argument("--drill", metavar="NAME", default=None,
+                      choices=("corrupt_bitmap",),
+                      help="plant a deliberate bug in every scenario "
+                           "(self-test: the fuzzer must find it)")
+    fuzz.add_argument("--regressions", metavar="DIR",
+                      default="fuzz-regressions",
+                      help="directory where shrunk finds register as "
+                           "named regression scenarios")
+    fuzz.add_argument("--fleet-fraction", type=float, default=0.25,
+                      help="fraction of scenarios run as a fleet")
     return parser
 
 
@@ -913,6 +952,32 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import run_fuzz
+    from .sweep.cache import CellCache
+
+    cache = CellCache(args.cache_dir) if args.cache_dir else None
+    report = run_fuzz(
+        budget=args.budget, seed=args.seed, jobs=args.jobs,
+        shrink=args.shrink, cache=cache, modes=args.modes,
+        families=args.families, drill=args.drill,
+        regressions_dir=args.regressions,
+        fleet_fraction=args.fleet_fraction, progress=print)
+    doc = report.document()
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        _write_json(args.out, payload)
+    print(f"fuzz: {args.budget} scenario(s), seed {args.seed}, "
+          f"{doc['n_violations']} violation(s), "
+          f"{len(report.finds)} find(s)")
+    for find in report.finds:
+        print(f"  {find['name']}: {find['signature'][0]}/"
+              f"{find['signature'][1]} "
+              f"(verified={find['verified']}, "
+              f"registered under {args.regressions})")
+    return 0 if report.ok else 1
+
+
 def _cmd_list_experiments(_args) -> int:
     for name in EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
@@ -963,6 +1028,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resilience": _cmd_resilience,
         "perf": _cmd_perf,
         "check": _cmd_check,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

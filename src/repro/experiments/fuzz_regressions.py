@@ -1,0 +1,91 @@
+"""``fuzz_regressions`` — replay every registered fuzzer find.
+
+Each find the fuzzer's shrinker registered (a JSON file under the
+regressions directory, default ``fuzz-regressions/``) becomes one cell:
+re-run the shrunk scenario and check it still fails with the recorded
+violation signature.  A find that stops reproducing is a *fixed* bug —
+the cell reports it rather than failing, so the experiment doubles as a
+fix-verification sweep.
+
+The find documents are embedded in the cell params at enumeration time,
+so ``run_cell`` is process-safe (no disk reads) and the sweep cache key
+captures the find's full content.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, Tuple
+
+from .registry import CellSpec, lined_experiment
+
+__all__ = ["DEFAULT_REGRESSIONS_DIR", "run_find_cell"]
+
+DEFAULT_REGRESSIONS_DIR = "fuzz-regressions"
+
+
+def _cells(seed: int, overrides: Dict[str, Any]) -> Tuple[CellSpec, ...]:
+    directory = str(overrides.get("dir", DEFAULT_REGRESSIONS_DIR))
+    cells = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
+        with open(path, "r", encoding="utf-8") as fh:
+            find = json.load(fh)
+        cells.append(CellSpec(
+            experiment="fuzz_regressions",
+            key=find.get("name", os.path.basename(path)),
+            params={"find": find},
+            seed=int(find.get("scenario", {}).get("seed", seed))))
+    if not cells:
+        # A tree with no registered finds is the healthy steady state;
+        # keep the experiment enumerable (one placeholder cell) so
+        # describe/run work before the fuzzer has ever found anything.
+        cells.append(CellSpec(
+            experiment="fuzz_regressions", key="(no finds)",
+            params={"find": None, "dir": directory}, seed=seed))
+    return tuple(cells)
+
+
+def run_find_cell(cell: CellSpec) -> Dict[str, Any]:
+    from ..fuzz.generator import Scenario
+    from ..fuzz.runner import run_scenario
+    from ..fuzz.shrink import violation_signature
+
+    find = cell.params["find"]
+    if find is None:
+        return {
+            "find": None,
+            "reproduced": False,
+            "status": "no-finds",
+            "expected": None,
+            "actual": None,
+            "rendered": f"{'(no registered finds)':<24} ok",
+        }
+    scenario = Scenario.from_dict(find["scenario"])
+    doc = run_scenario(scenario)
+    expected = tuple(find["signature"])
+    actual = violation_signature(doc)
+    reproduced = actual == expected
+    status = ("still-failing" if reproduced
+              else "fixed" if actual is None
+              else f"changed:{actual[0]}/{actual[1]}")
+    return {
+        "find": find["name"],
+        "reproduced": reproduced,
+        "status": status,
+        "expected": list(expected),
+        "actual": (None if actual is None else list(actual)),
+        "rendered": f"{find['name']:<24} {status}",
+    }
+
+
+lined_experiment(
+    name="fuzz_regressions",
+    title="Fuzzer finds replayed as regression scenarios",
+    enumerate_cells=_cells,
+    run_cell=run_find_cell,
+    header="find                     status",
+    tunables={"dir": "regressions directory to enumerate "
+                     f"(default {DEFAULT_REGRESSIONS_DIR})"},
+)

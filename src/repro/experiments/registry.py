@@ -60,7 +60,7 @@ EXPERIMENT_MODULES: Tuple[str, ...] = (
     "fig3", "fig45", "fig7", "fig11", "fig12", "fig13", "fig14", "fig15",
     "figa4", "figa5", "sec7", "appc", "ablations", "pool_capacity",
     "isolation", "scaling", "resilience", "prequal_ablation", "fleet_scale",
-    "splice_crossover",
+    "splice_crossover", "fuzz_regressions",
 )
 
 

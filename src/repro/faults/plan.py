@@ -83,6 +83,17 @@ FLEET_KINDS = INSTANCE_KINDS | frozenset({FaultKind.BACKEND_CHURN})
 #: Kinds whose ``magnitude`` is a probability in [0, 1].
 PROBABILITY_KINDS = frozenset({FaultKind.WST_TORN_BURST, FaultKind.NIC_LOSS})
 
+#: Kinds with a failure-detection window (accept ``detect_delay``).
+CRASH_KINDS = frozenset({FaultKind.WORKER_CRASH, FaultKind.INSTANCE_CRASH})
+
+#: Kinds that address one backend server (accept ``server_id``).
+BACKEND_POOL_KINDS = frozenset({
+    FaultKind.BACKEND_BROWNOUT, FaultKind.BACKEND_BLACKOUT,
+})
+
+#: Kinds that pick a single victim (accept ``target``).
+TARGETED_KINDS = WORKER_KINDS | INSTANCE_KINDS
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -131,6 +142,10 @@ class FaultSpec:
             raise ValueError("period and jitter must be >= 0")
         if self.count > 1 and self.period <= 0:
             raise ValueError("a fault train (count > 1) needs period > 0")
+        if self.target is not None and self.kind not in TARGETED_KINDS:
+            raise ValueError(
+                f"{self.kind.value} does not take a target "
+                f"(only worker/instance-scoped kinds do)")
         if self.target is not None and not isinstance(self.target, int) \
                 and self.target not in ("busiest", "random"):
             raise ValueError(
@@ -150,8 +165,17 @@ class FaultSpec:
                                  "(cleanup precedes restart)")
             if self.restart_after < self.detect_delay:
                 raise ValueError("restart_after must be >= detect_delay")
-        if self.detect_delay is not None and self.detect_delay < 0:
-            raise ValueError("detect_delay must be >= 0")
+        if self.detect_delay is not None:
+            if self.kind not in CRASH_KINDS:
+                raise ValueError(
+                    f"detect_delay only applies to crash kinds, "
+                    f"not {self.kind.value}")
+            if self.detect_delay < 0:
+                raise ValueError("detect_delay must be >= 0")
+        if self.server_id is not None and self.kind not in BACKEND_POOL_KINDS:
+            raise ValueError(
+                f"server_id only applies to backend faults, "
+                f"not {self.kind.value}")
         if self.kind is FaultKind.BACKEND_BLACKOUT and self.server_id is None:
             raise ValueError("backend_blackout needs a server_id")
         if self.kind is FaultKind.BACKEND_CHURN and self.magnitude < 1:

@@ -1,0 +1,299 @@
+"""Scenario execution with every defence armed, plus the fuzz campaign
+driver.
+
+:func:`run_scenario` is the deterministic unit: build the trace, build
+the target (one device or a fleet), arm invariant monitors + live
+oracles + the fault injector (+ the optional deliberate-corruption
+drill), replay, and report a JSON-safe document.  The same scenario dict
+always yields the same document, byte for byte — which is what lets
+:func:`run_fuzz` memoize through the sweep :class:`~repro.sweep.
+CellCache` and run cells in parallel with a slot-indexed merge identical
+to the serial order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..check.invariants import InvariantViolation, watch
+from ..check.oracles import OracleMismatch, live_oracles
+from ..check.pcc import watch_fleet
+from ..experiments.registry import CellSpec, normalize_doc
+from ..sim.rng import RngRegistry
+from ..sweep.fingerprint import code_fingerprint
+from ..workloads.library import build_family_trace
+from ..workloads.trace import Trace, TraceReplayer
+from .generator import Scenario, generate_scenarios
+
+__all__ = ["FuzzReport", "run_scenario", "run_fuzz"]
+
+#: Post-trace settle time so in-flight requests and fault recoveries
+#: finish before monitors finalize.
+SETTLE = 0.5
+
+REPORT_SCHEMA = "repro/fuzz-report/v1"
+
+
+def _arm_drill(name: str, server) -> bool:
+    """Plant a deliberate bug on ``server``; True when it armed.
+
+    ``corrupt_bitmap`` is the ``repro.check`` drill: every scheduler sync
+    ORs a bit beyond the group width into the kernel selection word —
+    the bitmap↔WST invariant must catch it.
+    """
+    if name != "corrupt_bitmap":
+        raise ValueError(f"unknown drill {name!r}")
+    if not getattr(server, "groups", None):
+        return False
+    group = server.groups[0]
+    bad_bit = 1 << len(group.worker_ids)
+    real_update = group.sel_map.update_from_user
+
+    def corrupted_update(key: int, value: int) -> None:
+        real_update(key, value | bad_bit)
+
+    group.sel_map.update_from_user = corrupted_update
+    return True
+
+
+def build_scenario_trace(scenario: Scenario,
+                         registry: RngRegistry) -> Trace:
+    """The scenario's trace: inline events if shrunk, else the family."""
+    if scenario.trace_events is not None:
+        return Trace.from_dict({"events": scenario.trace_events})
+    return build_family_trace(scenario.family, scenario.workload,
+                              registry.stream("workload"))
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Execute one scenario with monitors, oracles, and faults armed."""
+    from ..faults.injector import FaultInjector
+    from ..fleet import build_fleet
+    from ..kernel.nic import Nic
+    from ..lb.server import LBServer, NotificationMode
+    from ..obs import FlightRecorder, Tracer
+    from ..sim.engine import Environment
+
+    env = Environment()
+    registry = RngRegistry(scenario.seed)
+    recorder = FlightRecorder(capacity=256)
+    tracer = Tracer(env, recorder=recorder, keep_events=False)
+    trace = build_scenario_trace(scenario, registry)
+    hash_seed = registry.stream("hash").randrange(2 ** 32)
+
+    fleet = None
+    monitors = []
+    if scenario.is_fleet:
+        fleet = build_fleet(env, scenario.n_instances, scenario.n_workers,
+                            ports=_trace_ports(trace),
+                            mode=scenario.mode, policy=scenario.policy,
+                            hash_seed=hash_seed, tracer=tracer)
+        fleet.start()
+        target: Any = fleet
+        pcc = watch_fleet(fleet)
+        monitors = [watch(instance) for instance in fleet.instances]
+        drill_host = fleet.instances[0]
+    else:
+        server = LBServer(env, n_workers=scenario.n_workers,
+                          ports=_trace_ports(trace),
+                          mode=NotificationMode(scenario.mode),
+                          hash_seed=hash_seed,
+                          nic=Nic(n_queues=scenario.n_workers,
+                                  hash_seed=hash_seed),
+                          tracer=tracer)
+        server.start()
+        target = server
+        pcc = None
+        monitors = [watch(server)]
+        drill_host = server
+
+    drill_armed = False
+    if scenario.drill is not None:
+        drill_armed = _arm_drill(scenario.drill, drill_host)
+
+    injector = FaultInjector(env, None if scenario.is_fleet else target,
+                             scenario.fault_plan(), tracer=tracer,
+                             fleet=fleet).arm()
+    replayer = TraceReplayer(env, target, trace, rate=scenario.rate)
+    replayer.start()
+    horizon = trace.duration / scenario.rate + SETTLE
+
+    violation: Optional[Dict[str, Any]] = None
+    passes: Dict[str, int] = {}
+    comparisons = 0
+    try:
+        with live_oracles() as stats:
+            env.run(until=horizon)
+            for monitor in monitors:
+                for name, count in monitor.finalize().items():
+                    passes[name] = passes.get(name, 0) + count
+            if pcc is not None:
+                for name, count in pcc.finalize().items():
+                    passes[name] = passes.get(name, 0) + count
+        comparisons = stats.total
+    except (InvariantViolation, OracleMismatch, AssertionError) as exc:
+        kind = ("invariant" if isinstance(exc, InvariantViolation)
+                else "oracle" if isinstance(exc, OracleMismatch)
+                else "assertion")
+        violation = {
+            "kind": kind,
+            "name": getattr(exc, "name", type(exc).__name__),
+            "message": str(exc).splitlines()[0] if str(exc) else "",
+        }
+
+    if scenario.is_fleet:
+        summary = fleet.summary()
+        completed = summary["completed"]
+        failed = summary["failed"]
+        p99_ms = summary["p99_ms"]
+    else:
+        metrics = target.metrics
+        completed = metrics.requests_completed
+        failed = metrics.requests_failed
+        p99_ms = metrics.request_latencies.p99 * 1e3
+
+    return normalize_doc({
+        "name": scenario.name,
+        "ok": violation is None,
+        "violation": violation,
+        "events": len(trace),
+        "replayed": replayer.replayed,
+        "skipped": replayer.skipped,
+        "completed": completed,
+        "failed": failed,
+        "p99_ms": round(p99_ms, 6),
+        "passes": passes,
+        "oracle_comparisons": comparisons,
+        "faults_fired": injector.faults_fired,
+        "drill_armed": drill_armed,
+    })
+
+
+def _trace_ports(trace: Trace) -> List[int]:
+    ports = sorted({event.four_tuple.dst_port for event in trace.events})
+    return ports or [443]
+
+
+def _execute_scenario(payload: dict) -> Dict[str, Any]:
+    """Process-pool entry point: rebuild the scenario and run it."""
+    return run_scenario(Scenario.from_dict(payload))
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz campaign established — JSON-deterministic."""
+
+    seed: int
+    budget: int
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    finds: List[Dict[str, Any]] = field(default_factory=list)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return [doc for doc in self.results if not doc["ok"]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def document(self) -> Dict[str, Any]:
+        """The campaign report.  Deliberately excludes wall-clock data so
+        the same seed serializes byte-identically on every run."""
+        return normalize_doc({
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "budget": self.budget,
+            "ok": self.ok,
+            "n_violations": len(self.violations),
+            "results": self.results,
+            "finds": self.finds,
+            "cache": self.cache_stats,
+        })
+
+
+def run_fuzz(budget: int, seed: int = 7, jobs: int = 1,
+             shrink: bool = True, cache=None,
+             modes: Optional[Sequence[str]] = None,
+             families: Optional[Sequence[str]] = None,
+             drill: Optional[str] = None,
+             regressions_dir: Optional[str] = None,
+             fleet_fraction: float = 0.25,
+             progress=None) -> FuzzReport:
+    """Run one seeded fuzz campaign.
+
+    Scenarios are generated up front, executed (optionally in parallel —
+    results are merged in enumeration order, so ``jobs=N`` is
+    byte-identical to ``jobs=1``), memoized through ``cache`` when given,
+    and every violation is shrunk to a minimal reproducer and registered
+    under ``regressions_dir``.
+    """
+    from .shrink import register_find, shrink_scenario
+
+    say = progress if progress is not None else (lambda *_: None)
+    scenarios = generate_scenarios(budget, seed, modes=modes,
+                                   families=families, drill=drill,
+                                   fleet_fraction=fleet_fraction)
+    report = FuzzReport(seed=seed, budget=budget)
+    fingerprint = code_fingerprint() if cache is not None else ""
+
+    def cached_run(scenario: Scenario) -> Optional[Dict[str, Any]]:
+        """Cache lookup; None = miss (caller must execute)."""
+        if cache is None:
+            return None
+        cell = _scenario_cell(scenario)
+        return cache.get(cache.key_for(cell, fingerprint))
+
+    def store(scenario: Scenario, doc: Dict[str, Any]) -> None:
+        if cache is not None:
+            cell = _scenario_cell(scenario)
+            cache.put(cache.key_for(cell, fingerprint), cell, doc)
+
+    docs: List[Optional[Dict[str, Any]]] = [None] * len(scenarios)
+    pending: List[int] = []
+    for index, scenario in enumerate(scenarios):
+        hit = cached_run(scenario)
+        if hit is not None:
+            docs[index] = hit
+        else:
+            pending.append(index)
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_execute_scenario,
+                            scenarios[index].to_dict()): index
+                for index in pending}
+            for future in as_completed(futures):
+                index = futures[future]
+                docs[index] = future.result()
+                store(scenarios[index], docs[index])
+    else:
+        for index in pending:
+            docs[index] = run_scenario(scenarios[index])
+            store(scenarios[index], docs[index])
+
+    for index, scenario in enumerate(scenarios):
+        doc = docs[index]
+        report.results.append(doc)
+        status = "ok" if doc["ok"] else \
+            f"VIOLATION {doc['violation']['name']}"
+        say(f"{scenario.name}: {status}")
+        if not doc["ok"] and shrink:
+            find = shrink_scenario(scenario, baseline=doc)
+            if regressions_dir is not None:
+                register_find(find, regressions_dir)
+            report.finds.append(find)
+            say(f"  shrunk to {find['name']} "
+                f"({find['evaluations']} evaluations, "
+                f"verified={find['verified']})")
+    if cache is not None:
+        report.cache_stats = dict(cache.stats)
+    return report
+
+
+def _scenario_cell(scenario: Scenario) -> CellSpec:
+    return CellSpec(experiment="fuzz", key=scenario.name,
+                    params=scenario.to_dict(), seed=scenario.seed)

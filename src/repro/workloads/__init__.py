@@ -11,6 +11,12 @@ from .cases import (
 )
 from .distributions import FixedFactory, QuantileSampler, RequestFactory
 from .generator import ClientStats, TrafficGenerator, WorkloadSpec
+from .library import (
+    FAMILIES,
+    WorkloadFamily,
+    build_family_trace,
+    family_names,
+)
 from .regions import REGIONS, RegionProfile
 from .skew import (
     PAPER_TOP3_REGION_A,
@@ -26,6 +32,7 @@ __all__ = [
     "CASES",
     "CaseDefinition",
     "ClientStats",
+    "FAMILIES",
     "FixedFactory",
     "LOAD_MULTIPLIERS",
     "PAPER_TOP3_REGION_A",
@@ -40,9 +47,12 @@ __all__ = [
     "TraceEvent",
     "TraceReplayer",
     "TrafficGenerator",
+    "WorkloadFamily",
     "WorkloadSpec",
     "build_case_workload",
+    "build_family_trace",
     "build_trace_from_spec",
+    "family_names",
     "top_heavy_weights",
     "zipf_weights",
 ]

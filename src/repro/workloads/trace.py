@@ -26,7 +26,9 @@ class TraceEvent:
 
     ``kind`` is "open", "request", or "close".  ``conn_key`` groups events
     of the same original connection.  For requests, ``event_times`` carries
-    the per-event processing times and ``size`` the request size.
+    the per-event processing times and ``size`` the request size.  ``None``
+    means "never recorded" (open/close events, or hand-built requests);
+    a recorded zero is a real zero and replays as such.
     """
 
     time: float
@@ -34,8 +36,34 @@ class TraceEvent:
     conn_key: int
     four_tuple: FourTuple
     tenant_id: int = 0
-    event_times: Tuple[float, ...] = ()
-    size: int = 0
+    event_times: Optional[Tuple[float, ...]] = None
+    size: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "conn_key": self.conn_key,
+            "four_tuple": list(self.four_tuple),
+            "tenant_id": self.tenant_id,
+            "event_times": (None if self.event_times is None
+                            else list(self.event_times)),
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        event_times = data.get("event_times")
+        return cls(
+            time=data["time"],
+            kind=data["kind"],
+            conn_key=data["conn_key"],
+            four_tuple=FourTuple(*data["four_tuple"]),
+            tenant_id=data.get("tenant_id", 0),
+            event_times=(None if event_times is None
+                         else tuple(event_times)),
+            size=data.get("size"),
+        )
 
 
 @dataclass
@@ -63,6 +91,14 @@ class Trace:
 
     def sorted_events(self) -> List[TraceEvent]:
         return sorted(self.events, key=lambda e: e.time)
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        return cls(events=[TraceEvent.from_dict(e)
+                           for e in data.get("events", ())])
 
     @property
     def duration(self) -> float:
@@ -137,6 +173,16 @@ class TraceReplayer:
             if due > self.env.now:
                 yield self.env.timeout(due - self.env.now)
             self._apply(event)
+        # End-of-trace drain: a truncated trace may leave connections with
+        # no recorded close — close them so conservation invariants balance.
+        # Drained closes correspond to no trace event, so they count toward
+        # neither ``replayed`` nor ``skipped``.
+        for conn in self._conns.values():
+            conn.client_close()
+        self._conns.clear()
+        assert self.replayed + self.skipped == len(self.trace), (
+            f"trace accounting leak: {self.replayed} replayed + "
+            f"{self.skipped} skipped != {len(self.trace)} events")
 
     def _apply(self, event: TraceEvent) -> None:
         if event.kind == "open":
@@ -154,9 +200,11 @@ class TraceReplayer:
                                               ConnState.CLOSED):
                 self.skipped += 1
                 return
-            request = Request(tenant_id=event.tenant_id,
-                              size_bytes=event.size or 512,
-                              event_times=event.event_times or (0.001,))
+            request = Request(
+                tenant_id=event.tenant_id,
+                size_bytes=event.size if event.size is not None else 512,
+                event_times=(event.event_times
+                             if event.event_times is not None else (0.001,)))
             self.target.deliver(conn, request)
             self.replayed += 1
         elif event.kind == "close":
@@ -164,5 +212,9 @@ class TraceReplayer:
             if conn is not None:
                 conn.client_close()
                 self.replayed += 1
+            else:
+                # The matching open was refused (or already closed): the
+                # close still consumed a trace event — account for it.
+                self.skipped += 1
         else:
             raise ValueError(f"unknown trace event kind {event.kind!r}")

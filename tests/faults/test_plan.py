@@ -108,3 +108,55 @@ class TestPlanSerialization:
         assert [s.kind for s in plan] == [FaultKind.WORKER_HANG,
                                          FaultKind.WORKER_CRASH,
                                          FaultKind.NIC_LOSS]
+
+
+class TestKindApplicability:
+    """Kind-inapplicable fields are rejected, not silently ignored —
+    one behaviour per serialized plan (the fuzzer's canonicality rule)."""
+
+    def test_detect_delay_rejected_on_non_crash_kinds(self):
+        with pytest.raises(ValueError, match="detect_delay"):
+            FaultSpec(kind=FaultKind.WORKER_HANG, at=1.0, duration=0.1,
+                      detect_delay=0.005)
+
+    def test_detect_delay_allowed_on_crash_kinds(self):
+        FaultSpec(kind=FaultKind.WORKER_CRASH, at=1.0, detect_delay=0.005)
+        FaultSpec(kind=FaultKind.INSTANCE_CRASH, at=1.0, target=0,
+                  detect_delay=0.005)
+
+    def test_server_id_rejected_on_worker_scoped_kinds(self):
+        with pytest.raises(ValueError, match="server_id"):
+            FaultSpec(kind=FaultKind.WORKER_CRASH, at=1.0,
+                      detect_delay=0.005, server_id=2)
+
+    def test_server_id_allowed_on_backend_kinds(self):
+        FaultSpec(kind=FaultKind.BACKEND_BROWNOUT, at=1.0, duration=0.5,
+                  magnitude=3.0, server_id=1)
+        FaultSpec(kind=FaultKind.BACKEND_BLACKOUT, at=1.0, duration=0.5,
+                  server_id=1)
+
+    @pytest.mark.parametrize("kind", [FaultKind.BACKEND_CHURN,
+                                      FaultKind.NIC_LOSS,
+                                      FaultKind.BITMAP_SYNC_LOSS,
+                                      FaultKind.BACKEND_BROWNOUT])
+    def test_target_rejected_on_untargeted_kinds(self, kind):
+        kwargs = {"magnitude": 0.5} if kind is FaultKind.NIC_LOSS else {}
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind=kind, at=1.0, target=0, **kwargs)
+
+    def test_target_allowed_on_instance_kinds(self):
+        FaultSpec(kind=FaultKind.INSTANCE_DRAIN, at=1.0, duration=0.2,
+                  target="busiest")
+
+    def test_valid_plan_serialization_byte_unchanged(self):
+        # The stricter validation must not alter how valid plans
+        # serialize: same fields, same canonical JSON.
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=FaultKind.WORKER_CRASH, at=2.5,
+                      target="busiest", detect_delay=0.005),
+        ), seed=7)
+        assert plan.to_json() == (
+            '{"faults": [{"at": 2.5, "count": 1, "detect_delay": 0.005, '
+            '"duration": 0.0, "jitter": 0.0, "kind": "worker_crash", '
+            '"magnitude": 1.0, "period": 0.0, "restart_after": null, '
+            '"server_id": null, "target": "busiest"}], "seed": 7}')

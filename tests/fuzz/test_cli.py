@@ -1,0 +1,66 @@
+"""The ``repro fuzz`` subcommand."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.budget == 20
+        assert args.seed == 7
+        assert args.jobs == 1
+        assert args.shrink is True
+        assert args.drill is None
+        assert args.regressions == "fuzz-regressions"
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--budget", "3", "--seed", "9", "--jobs", "2",
+             "--no-shrink", "--mode", "hermes", "--mode", "exclusive",
+             "--family", "diurnal", "--drill", "corrupt_bitmap",
+             "--out", "report.json", "--fleet-fraction", "0"])
+        assert args.budget == 3
+        assert args.shrink is False
+        assert args.modes == ["hermes", "exclusive"]
+        assert args.families == ["diurnal"]
+        assert args.drill == "corrupt_bitmap"
+        assert args.fleet_fraction == 0.0
+
+
+class TestCommand:
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        out = str(tmp_path / "report.json")
+        code = main(["fuzz", "--budget", "2", "--seed", "7",
+                     "--no-shrink", "--family", "diurnal",
+                     "--fleet-fraction", "0", "--out", out])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "0 violation(s)" in captured
+        with open(out, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["ok"] and doc["budget"] == 2
+
+    def test_seeded_reports_are_byte_identical(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        for path in (a, b):
+            assert main(["fuzz", "--budget", "2", "--seed", "7",
+                         "--no-shrink", "--family", "fanout_chain",
+                         "--fleet-fraction", "0", "--out", path]) == 0
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_drill_finds_shrinks_and_registers(self, capsys, tmp_path):
+        regressions = str(tmp_path / "reg")
+        code = main(["fuzz", "--budget", "1", "--seed", "11",
+                     "--mode", "hermes", "--family", "diurnal",
+                     "--fleet-fraction", "0",
+                     "--drill", "corrupt_bitmap",
+                     "--regressions", regressions])
+        assert code == 1
+        captured = capsys.readouterr().out
+        assert "VIOLATION bitmap_wst" in captured
+        assert "verified=True" in captured
+        finds = list((tmp_path / "reg").glob("fuzz-*.json"))
+        assert len(finds) == 1

@@ -1,0 +1,105 @@
+"""The shrinker: planted bug → find → minimal reproducer → regression."""
+
+import json
+
+import pytest
+
+from repro.experiments import registry
+from repro.fuzz import (
+    generate_scenarios,
+    register_find,
+    run_fuzz,
+    run_scenario,
+    shrink_scenario,
+    violation_signature,
+)
+from repro.fuzz.generator import Scenario
+
+
+def planted_scenario(seed=11):
+    """A hermes scenario with the corrupt-bitmap drill armed."""
+    return generate_scenarios(
+        1, seed=seed, modes=["hermes"], families=["diurnal"],
+        fleet_fraction=0.0, drill="corrupt_bitmap")[0]
+
+
+class TestShrink:
+    def test_planted_bug_shrinks_and_verifies(self):
+        scenario = planted_scenario()
+        baseline = run_scenario(scenario)
+        assert violation_signature(baseline) == ("invariant", "bitmap_wst")
+        find = shrink_scenario(scenario, baseline=baseline)
+        assert find["schema"] == "repro/fuzz-find/v1"
+        assert find["name"].startswith("fuzz-")
+        assert find["signature"] == ["invariant", "bitmap_wst"]
+        assert find["verified"]
+        shrunk = Scenario.from_dict(find["scenario"])
+        # Smaller than the original along the shrink dimensions.
+        assert shrunk.n_workers <= scenario.n_workers
+        assert len(shrunk.plan["faults"]) <= len(scenario.plan["faults"])
+        # And it still fails with the same signature, deterministically.
+        a = run_scenario(shrunk)
+        b = run_scenario(shrunk)
+        assert a == b
+        assert violation_signature(a) == ("invariant", "bitmap_wst")
+
+    def test_shrink_is_deterministic(self):
+        scenario = planted_scenario()
+        a = shrink_scenario(scenario)
+        b = shrink_scenario(scenario)
+        assert a == b
+
+    def test_passing_scenario_refuses_to_shrink(self):
+        scenario = generate_scenarios(
+            1, seed=7, families=["diurnal"], fleet_fraction=0.0)[0]
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_scenario(scenario)
+
+    def test_eval_budget_respected(self):
+        scenario = planted_scenario()
+        find = shrink_scenario(scenario, max_evals=5)
+        # 5 shrink evaluations + the 2 verification runs.
+        assert find["evaluations"] <= 5 + 2
+
+
+class TestRegression:
+    def test_register_and_replay_via_experiment(self, tmp_path):
+        directory = str(tmp_path / "regressions")
+        scenario = planted_scenario()
+        find = shrink_scenario(scenario)
+        path = register_find(find, directory)
+        with open(path, "r", encoding="utf-8") as fh:
+            assert json.load(fh) == find
+
+        spec = registry.get("fuzz_regressions")
+        cells = spec.cells(7, {"dir": directory})
+        assert [cell.key for cell in cells] == [find["name"]]
+        doc = spec.run_cell(cells[0])
+        assert doc["reproduced"]
+        assert doc["status"] == "still-failing"
+        merged = spec.merge(cells, [doc])
+        assert find["name"] in spec.render(merged)
+
+    def test_empty_regressions_dir_yields_the_placeholder(self, tmp_path):
+        spec = registry.get("fuzz_regressions")
+        cells = spec.cells(7, {"dir": str(tmp_path / "empty")})
+        assert [cell.key for cell in cells] == ["(no finds)"]
+        doc = spec.run_cell(cells[0])
+        assert doc["status"] == "no-finds" and not doc["reproduced"]
+        assert "(no registered finds)" in spec.render(
+            spec.merge(cells, [doc]))
+
+    def test_campaign_end_to_end_with_drill(self, tmp_path):
+        directory = str(tmp_path / "found")
+        report = run_fuzz(1, seed=11, modes=["hermes"],
+                          families=["diurnal"], fleet_fraction=0.0,
+                          drill="corrupt_bitmap",
+                          regressions_dir=directory)
+        assert not report.ok
+        assert len(report.finds) == 1
+        find = report.finds[0]
+        assert find["verified"]
+        spec = registry.get("fuzz_regressions")
+        cells = spec.cells(7, {"dir": directory})
+        assert len(cells) == 1
+        assert spec.run_cell(cells[0])["reproduced"]

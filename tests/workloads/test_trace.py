@@ -88,3 +88,136 @@ class TestReplay:
         env.run(until=1.0)
         # The replay process failed with ValueError.
         assert not replayer._proc.ok
+
+
+class Sink:
+    """Minimal replay target: records connects/requests, can refuse."""
+
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.conns = []
+        self.requests = []
+
+    def connect(self, conn):
+        if not self.accept:
+            return False
+        self.conns.append(conn)
+        return True
+
+    def deliver(self, conn, request):
+        self.requests.append(request)
+
+
+class TestAccounting:
+    """Regression tests for the replay accounting fixes."""
+
+    def test_close_after_refused_open_counts_as_skipped(self):
+        trace = Trace()
+        trace.record_open(0.0, 1, ft(1))
+        trace.record_close(0.1, 1, ft(1))
+        env = Environment()
+        replayer = TraceReplayer(env, Sink(accept=False), trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert replayer.finished
+        assert replayer.replayed == 0
+        assert replayer.skipped == 2
+        assert replayer.replayed + replayer.skipped == len(trace)
+
+    def test_leftover_connections_drained_at_trace_end(self):
+        trace = Trace()
+        trace.record_open(0.0, 1, ft(1))
+        trace.record_request(0.1, 1, ft(1), event_times=[0.001])
+        # No close event: the recording was truncated mid-connection.
+        env = Environment()
+        sink = Sink()
+        replayer = TraceReplayer(env, sink, trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert replayer.finished
+        assert replayer.replayed == 2
+        assert replayer.skipped == 0
+        # The drain client-closed the leftover connection.
+        assert sink.conns[0].fin_pending
+        assert not replayer._conns
+
+    def test_full_replay_accounting_invariant(self):
+        env, server = TestReplay().make_server()
+        replayer = TraceReplayer(env, server, sample_trace())
+        replayer.start()
+        env.run(until=2.0)
+        assert replayer.finished
+        assert replayer.replayed + replayer.skipped == len(sample_trace())
+
+    def test_drain_against_real_server_closes_connections(self):
+        trace = Trace()
+        trace.record_open(0.0, 1, ft(1))
+        trace.record_request(0.1, 1, ft(1), event_times=[0.001])
+        env, server = TestReplay().make_server()
+        replayer = TraceReplayer(env, server, trace)
+        replayer.start()
+        env.run(until=2.0)
+        assert replayer.finished
+        assert server.metrics.requests_completed == 1
+        assert not replayer._conns
+
+
+class TestRecordedValuePreservation:
+    """Falsy recorded values must replay verbatim, not as defaults."""
+
+    def test_zero_size_request_replays_as_zero(self):
+        trace = Trace()
+        trace.record_open(0.0, 1, ft(1))
+        trace.record_request(0.1, 1, ft(1), event_times=[0.002], size=0)
+        env = Environment()
+        sink = Sink()
+        replayer = TraceReplayer(env, sink, trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert len(sink.requests) == 1
+        assert sink.requests[0].size_bytes == 0
+        assert sink.requests[0].event_times == (0.002,)
+
+    def test_empty_event_times_preserved(self):
+        trace = Trace()
+        trace.record_open(0.0, 1, ft(1))
+        trace.record_request(0.1, 1, ft(1), event_times=[], size=128)
+        env = Environment()
+        sink = Sink()
+        replayer = TraceReplayer(env, sink, trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert sink.requests[0].event_times == ()
+        assert sink.requests[0].size_bytes == 128
+
+    def test_unrecorded_fields_still_default(self):
+        from repro.workloads import TraceEvent
+        trace = Trace(events=[
+            TraceEvent(0.0, "open", 1, ft(1)),
+            TraceEvent(0.1, "request", 1, ft(1)),
+        ])
+        env = Environment()
+        sink = Sink()
+        replayer = TraceReplayer(env, sink, trace)
+        replayer.start()
+        env.run(until=1.0)
+        assert sink.requests[0].size_bytes == 512
+        assert sink.requests[0].event_times == (0.001,)
+
+
+class TestTraceSerialization:
+    def test_round_trip(self):
+        trace = sample_trace()
+        clone = Trace.from_dict(trace.to_dict())
+        assert clone.to_dict() == trace.to_dict()
+        assert [e for e in clone.events] == [e for e in trace.events]
+
+    def test_round_trip_preserves_none_sentinels(self):
+        from repro.workloads import TraceEvent
+        trace = sample_trace()
+        clone = Trace.from_dict(trace.to_dict())
+        opens = [e for e in clone.events if e.kind == "open"]
+        assert all(e.size is None and e.event_times is None for e in opens)
+        requests = [e for e in clone.events if e.kind == "request"]
+        assert all(isinstance(e.event_times, tuple) for e in requests)
+        assert isinstance(clone.events[0], TraceEvent)
